@@ -1,0 +1,144 @@
+// Command cmpleaksim runs one configuration of the CMP leakage simulator and
+// prints its metrics: execution time, IPC, L2 occupation rate, miss rate,
+// AMAT, off-chip traffic, the energy breakdown and the technique activity.
+//
+// Examples:
+//
+//	cmpleaksim -benchmark WATER-NS -l2mb 4 -technique decay -decay 512K
+//	cmpleaksim -benchmark mpeg2dec -l2mb 8 -technique protocol -baseline
+//	cmpleaksim -benchmark facerec -technique sel_decay -decay 64K -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cmpleak"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "WATER-NS", "benchmark name (WATER-NS, FMM, VOLREND, mpeg2enc, mpeg2dec, facerec)")
+		l2MB      = flag.Int("l2mb", 4, "total L2 capacity in MB (split across 4 private caches)")
+		technique = flag.String("technique", "decay", "leakage technique: baseline, protocol, decay, sel_decay, adaptive")
+		decayStr  = flag.String("decay", "512K", "decay time in cycles (supports K/M suffixes)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		baseline  = flag.Bool("baseline", false, "also run the always-on baseline and print relative metrics")
+		strict    = flag.Bool("strict-inclusion", false, "back-invalidate L1 on clean turn-offs (ablation)")
+		noThermal = flag.Bool("no-thermal-feedback", false, "disable the leakage-temperature loop")
+	)
+	flag.Parse()
+
+	decayCycles, err := parseCycles(*decayStr)
+	if err != nil {
+		fatalf("invalid -decay: %v", err)
+	}
+	spec, err := techniqueSpec(*technique, decayCycles)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec.StrictInclusion = *strict
+
+	cfg := cmpleak.DefaultConfig().
+		WithBenchmark(*benchmark).
+		WithTotalL2MB(*l2MB).
+		WithTechnique(spec)
+	cfg.WorkloadScale = *scale
+	cfg.Seed = *seed
+	cfg.ThermalFeedback = !*noThermal
+
+	res, err := cmpleak.Run(cfg)
+	if err != nil {
+		fatalf("simulation failed: %v", err)
+	}
+	printResult(res)
+
+	if *baseline && spec.Name() != "baseline" {
+		baseCfg := cfg.WithTechnique(cmpleak.Baseline())
+		baseRes, err := cmpleak.Run(baseCfg)
+		if err != nil {
+			fatalf("baseline run failed: %v", err)
+		}
+		cmp := cmpleak.Compare(res, baseRes)
+		fmt.Printf("\nRelative to always-on baseline:\n")
+		fmt.Printf("  energy reduction    %7.2f%%\n", cmp.EnergyReduction*100)
+		fmt.Printf("  IPC loss            %7.2f%%\n", cmp.IPCLoss*100)
+		fmt.Printf("  AMAT increase       %7.2f%%\n", cmp.AMATIncrease*100)
+		fmt.Printf("  bandwidth increase  %7.2f%%\n", cmp.BandwidthIncrease*100)
+		fmt.Printf("  miss-rate delta     %7.4f\n", cmp.MissRateDelta)
+	}
+}
+
+// parseCycles parses "512K", "1M" or a plain number into cycles.
+func parseCycles(s string) (cmpleak.Cycle, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult = 1024
+		s = strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult = 1024 * 1024
+		s = strings.TrimSuffix(s, "M")
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return cmpleak.Cycle(v * mult), nil
+}
+
+// techniqueSpec maps the flag value to a technique specification.
+func techniqueSpec(name string, decayCycles cmpleak.Cycle) (cmpleak.TechniqueSpec, error) {
+	switch name {
+	case "baseline":
+		return cmpleak.Baseline(), nil
+	case "protocol":
+		return cmpleak.Protocol(), nil
+	case "decay":
+		return cmpleak.Decay(decayCycles), nil
+	case "sel_decay":
+		return cmpleak.SelectiveDecay(decayCycles), nil
+	case "adaptive":
+		return cmpleak.AdaptiveDecay(decayCycles), nil
+	default:
+		return cmpleak.TechniqueSpec{}, fmt.Errorf("unknown technique %q", name)
+	}
+}
+
+func printResult(res cmpleak.Result) {
+	fmt.Printf("Configuration: %s\n", res.Label)
+	fmt.Printf("  cycles              %12d\n", res.Cycles)
+	fmt.Printf("  instructions        %12d\n", res.Instructions)
+	fmt.Printf("  aggregate IPC       %12.2f\n", res.IPC)
+	fmt.Printf("  L2 occupation rate  %12.2f%%\n", res.L2OccupationRate*100)
+	fmt.Printf("  L2 miss rate        %12.2f%%\n", res.L2MissRate*100)
+	fmt.Printf("  AMAT                %12.2f cycles\n", res.AMAT)
+	fmt.Printf("  off-chip traffic    %12d bytes\n", res.MemoryBytes)
+	fmt.Printf("  bus utilization     %12.2f%%\n", res.BusUtilization*100)
+	fmt.Printf("  max temperature     %12.1f C\n", res.MaxTempC)
+	fmt.Printf("Energy breakdown (J):\n")
+	fmt.Printf("  core dynamic        %12.5f\n", res.Energy.CoreDynamic)
+	fmt.Printf("  core leakage        %12.5f\n", res.Energy.CoreLeakage)
+	fmt.Printf("  L1 dynamic+leakage  %12.5f\n", res.Energy.L1Dynamic+res.Energy.L1Leakage)
+	fmt.Printf("  L2 dynamic          %12.5f\n", res.Energy.L2Dynamic)
+	fmt.Printf("  L2 leakage          %12.5f\n", res.Energy.L2Leakage)
+	fmt.Printf("  bus                 %12.5f\n", res.Energy.Bus)
+	fmt.Printf("  decay overhead      %12.5f\n", res.Energy.DecayOverhead)
+	fmt.Printf("  total               %12.5f\n", res.EnergyJ)
+	fmt.Printf("Technique activity:\n")
+	fmt.Printf("  turn-off requests   %12d\n", res.TurnOffRequests)
+	fmt.Printf("  turn-offs completed %12d\n", res.TurnOffsCompleted)
+	fmt.Printf("  turn-off writebacks %12d\n", res.TurnOffWritebacks)
+	fmt.Printf("  protocol invalidates%12d\n", res.ProtocolInvalidations)
+	fmt.Printf("  decay-induced misses%12d\n", res.DecayInducedMisses)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmpleaksim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command leaksweep runs the paper's full evaluation sweep (benchmarks ×
+// total cache sizes × leakage techniques, each against its always-on
+// baseline) and prints the regenerated figures as markdown tables, in the
+// same rows and series as the paper.
+//
+// Examples:
+//
+//	leaksweep                      # full sweep at the default scale
+//	leaksweep -scale 0.25 -fig 5a  # quarter-length workloads, Figure 5a only
+//	leaksweep -benchmarks WATER-NS,FMM -sizes 2,4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmpleak"
+)
+
+func main() {
+	var (
+		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full synthetic workloads)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
+		sizes      = flag.String("sizes", "", "comma-separated total L2 sizes in MB (default: 1,2,4,8)")
+		fig        = flag.String("fig", "", "print only one figure: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b")
+		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts := cmpleak.DefaultSweepOptions(*scale)
+	opts.Seed = *seed
+	opts.Parallelism = *parallel
+	if *benchmarks != "" {
+		opts.Benchmarks = splitList(*benchmarks)
+	}
+	if *sizes != "" {
+		var mbs []int
+		for _, s := range splitList(*sizes) {
+			mb, err := strconv.Atoi(s)
+			if err != nil {
+				fatalf("invalid -sizes entry %q", s)
+			}
+			mbs = append(mbs, mb)
+		}
+		opts.CacheSizesMB = mbs
+	}
+
+	runs := len(opts.Benchmarks) * len(opts.CacheSizesMB) * (len(opts.Techniques) + 1)
+	fmt.Fprintf(os.Stderr, "leaksweep: running %d simulations (scale=%.3g)...\n", runs, *scale)
+	start := time.Now()
+	sweep, err := cmpleak.RunSweep(opts)
+	if err != nil {
+		fatalf("sweep failed: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "leaksweep: done in %s\n", time.Since(start).Round(time.Second))
+
+	figures := map[string]func() cmpleak.FigureTable{
+		"3a": sweep.Figure3a,
+		"3b": sweep.Figure3b,
+		"4a": sweep.Figure4a,
+		"4b": sweep.Figure4b,
+		"5a": sweep.Figure5a,
+		"5b": sweep.Figure5b,
+		"6a": func() cmpleak.FigureTable { return sweep.Figure6a(4) },
+		"6b": func() cmpleak.FigureTable { return sweep.Figure6b(4) },
+	}
+
+	emit := func(t cmpleak.FigureTable) {
+		if *csv {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.Markdown())
+		}
+	}
+
+	if *fig != "" {
+		gen, ok := figures[strings.ToLower(*fig)]
+		if !ok {
+			fatalf("unknown figure %q (want 3a..6b)", *fig)
+		}
+		emit(gen())
+		return
+	}
+
+	// Full report: headline per size plus every figure in paper order.
+	for _, mb := range opts.CacheSizesMB {
+		fmt.Print(sweep.HeadlineAt(mb).String())
+		fmt.Println()
+	}
+	for _, t := range sweep.AllFigures() {
+		emit(t)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "leaksweep: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command tracegen dumps the synthetic per-core reference streams of a
+// benchmark in a simple text format (one line per entry), which is useful
+// for inspecting the workload models or feeding other simulators.
+//
+// Example:
+//
+//	tracegen -benchmark FMM -cores 4 -scale 0.1 -limit 20
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpleak/internal/workload"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "WATER-NS", "benchmark name or 'synthetic'")
+		cores     = flag.Int("cores", 4, "number of cores / streams")
+		scale     = flag.Float64("scale", 0.05, "workload scale factor")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		limit     = flag.Int("limit", 0, "max entries per core (0 = all)")
+		stats     = flag.Bool("stats", false, "print per-core summary statistics instead of the trace")
+	)
+	flag.Parse()
+
+	var gen workload.Generator
+	var err error
+	if *benchmark == "synthetic" {
+		gen, err = workload.NewSynthetic(workload.DefaultSyntheticConfig(), *scale)
+	} else {
+		gen, err = workload.ByName(*benchmark, *scale)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	for coreID, stream := range gen.Streams(*cores, *seed) {
+		if *stats {
+			printStats(out, coreID, stream)
+			continue
+		}
+		n := 0
+		for {
+			e, ok := stream.Next()
+			if !ok {
+				break
+			}
+			fmt.Fprintf(out, "core=%d compute=%d op=%s addr=%s\n", coreID, e.ComputeInstrs, e.Op, e.Addr)
+			n++
+			if *limit > 0 && n >= *limit {
+				break
+			}
+		}
+	}
+}
+
+// printStats summarises one stream: reference counts, store fraction,
+// instruction count and unique 64-byte blocks.
+func printStats(out *bufio.Writer, coreID int, stream workload.Stream) {
+	entries := workload.Drain(stream)
+	blocks := make(map[uint64]bool)
+	var loads, stores uint64
+	for _, e := range entries {
+		switch e.Op {
+		case workload.Load:
+			loads++
+		case workload.Store:
+			stores++
+		}
+		if e.Op != workload.None {
+			blocks[uint64(e.Addr)/64] = true
+		}
+	}
+	total := loads + stores
+	storeFrac := 0.0
+	if total > 0 {
+		storeFrac = float64(stores) / float64(total)
+	}
+	fmt.Fprintf(out, "core=%d refs=%d loads=%d stores=%d store_frac=%.2f instrs=%d unique_blocks=%d footprint=%dKB\n",
+		coreID, total, loads, stores, storeFrac,
+		workload.TotalInstructions(entries), len(blocks), len(blocks)*64/1024)
+}

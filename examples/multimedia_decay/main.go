@@ -1,0 +1,57 @@
+// multimedia_decay focuses on the ALPBench-like multimedia workloads, where
+// the paper finds Selective Decay to be the best Energy-Delay choice: frame
+// data is streamed and dies quickly, so decay reclaims almost all of the L2
+// leakage at a minimal performance cost.  The example sweeps the decay time
+// for both Decay and Selective Decay on the 4 MB system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cmpleak"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "workload scale factor")
+	flag.Parse()
+
+	benchmarks := []string{"mpeg2enc", "mpeg2dec", "facerec"}
+	decayTimes := []cmpleak.Cycle{512 * 1024, 128 * 1024, 64 * 1024}
+
+	fmt.Println("benchmark   technique        occ%   energy%   ipcloss%   bw+%")
+	for _, bench := range benchmarks {
+		cfg := cmpleak.DefaultConfig().WithBenchmark(bench).WithTotalL2MB(4)
+		cfg.WorkloadScale = *scale
+
+		base, err := cmpleak.Run(cfg.WithTechnique(cmpleak.Baseline()))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		specs := []cmpleak.TechniqueSpec{cmpleak.Protocol()}
+		for _, dt := range decayTimes {
+			specs = append(specs, cmpleak.Decay(dt))
+		}
+		for _, dt := range decayTimes {
+			specs = append(specs, cmpleak.SelectiveDecay(dt))
+		}
+
+		for _, spec := range specs {
+			res, err := cmpleak.Run(cfg.WithTechnique(spec))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cmp := cmpleak.Compare(res, base)
+			fmt.Printf("%-11s %-15s %6.1f %9.1f %10.1f %6.0f\n",
+				bench, spec.Name(),
+				cmp.OccupationRate*100,
+				cmp.EnergyReduction*100,
+				cmp.IPCLoss*100,
+				cmp.BandwidthIncrease*100)
+		}
+	}
+	fmt.Println("\nThe paper's conclusion for multimedia: Selective Decay reaches nearly the same")
+	fmt.Println("energy saving as the more aggressive Decay (within ~5%) at a much smaller IPC loss.")
+}

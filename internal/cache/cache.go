@@ -1,0 +1,307 @@
+// Package cache implements the storage substrate shared by the L1 and L2
+// models: parameterisable set-associative arrays with true-LRU replacement,
+// per-line power (Gated-Vdd) book-keeping, miss-status holding registers
+// (MSHR) with request merging, and a coalescing write buffer.
+//
+// The package is deliberately policy-free: coherence states are stored as an
+// opaque uint8 owned by the coherence layer, and the decision of when to
+// power a line on or off belongs to the leakage techniques in
+// internal/decay.  What lives here is the mechanics: tag lookup, victim
+// selection, LRU maintenance, and exact integration of powered-on cycles so
+// the occupation-rate metric of the paper (Figure 3a) can be computed.
+package cache
+
+import (
+	"fmt"
+
+	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/stats"
+)
+
+// Config describes one cache array.
+type Config struct {
+	// Name is used in statistics and error messages ("L1D-0", "L2-2", ...).
+	Name string
+	// SizeBytes is the total data capacity.
+	SizeBytes uint64
+	// LineBytes is the block size; must be a power of two.
+	LineBytes uint64
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyCycles is the access (hit) latency.
+	LatencyCycles sim.Cycle
+	// ExtraLatency is added on top of LatencyCycles; the paper charges one
+	// extra cycle for caches that embed decay circuitry.
+	ExtraLatency sim.Cycle
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes == 0 || c.LineBytes == 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %q: size, line size and associativity must be positive", c.Name)
+	}
+	if !mem.IsPowerOfTwo(c.LineBytes) {
+		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines == 0 || lines%uint64(c.Assoc) != 0 {
+		return fmt.Errorf("cache %q: %d lines not divisible by associativity %d", c.Name, lines, c.Assoc)
+	}
+	sets := lines / uint64(c.Assoc)
+	if !mem.IsPowerOfTwo(sets) {
+		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// NumLines returns the total number of lines.
+func (c Config) NumLines() int { return int(c.SizeBytes / c.LineBytes) }
+
+// NumSets returns the number of sets.
+func (c Config) NumSets() int { return c.NumLines() / c.Assoc }
+
+// Latency returns the total hit latency including any decay penalty.
+func (c Config) Latency() sim.Cycle { return c.LatencyCycles + c.ExtraLatency }
+
+// Line is one cache block's metadata.  Data values are not simulated; only
+// the state needed for timing, coherence and energy is kept.
+type Line struct {
+	// Tag is the block address (not a partial tag), zero only when !Valid.
+	Tag mem.Addr
+	// Valid reports whether the line holds a block.
+	Valid bool
+	// Dirty reports whether the line holds data newer than memory.
+	Dirty bool
+	// State is the coherence state, owned by the coherence layer.
+	State uint8
+	// Powered reports whether the SRAM cells of this line are connected to
+	// the supply rail (Gated-Vdd on = powered).
+	Powered bool
+	// poweredSince is the cycle at which the line was last powered on.
+	poweredSince sim.Cycle
+	// LastTouch is the cycle of the last access (used by decay).
+	LastTouch sim.Cycle
+	// DecayCounter is the per-line hierarchical counter (2-bit in the
+	// paper's implementation).
+	DecayCounter uint8
+	// DecayArmed reports whether the decay logic is allowed to turn this
+	// line off (always true for plain Decay, selectively set for SD).
+	DecayArmed bool
+}
+
+// Cache is a set-associative array.
+type Cache struct {
+	cfg  Config
+	sets [][]Line
+	// lruStamp holds a per-way recency stamp per set; higher is more recent.
+	lruStamp [][]uint64
+	stampClk uint64
+
+	// onCycles integrates line-cycles spent powered on.
+	onCycles uint64
+	// poweredLines is the number of lines currently powered.
+	poweredLines int
+
+	// Statistics.
+	Hits       stats.Counter
+	Misses     stats.Counter
+	Evictions  stats.Counter
+	Fills      stats.Counter
+	Writebacks stats.Counter
+}
+
+// New builds a cache; the configuration must validate.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	sets := cfg.NumSets()
+	c.sets = make([][]Line, sets)
+	c.lruStamp = make([][]uint64, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Assoc)
+		c.lruStamp[i] = make([]uint64, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on configuration errors; used by tests and
+// presets that are known valid.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetIndex returns the set index for an address.
+func (c *Cache) SetIndex(a mem.Addr) int {
+	block := uint64(a) / c.cfg.LineBytes
+	return int(block % uint64(len(c.sets)))
+}
+
+// blockAddr returns the block-aligned address.
+func (c *Cache) blockAddr(a mem.Addr) mem.Addr {
+	return mem.BlockAddr(a, c.cfg.LineBytes)
+}
+
+// Lookup finds the way holding the block containing a.  It returns the set
+// index, the way, and whether the block is present (valid).  Lookup does not
+// update LRU state or statistics; callers decide whether the access counts
+// as a hit (a powered-off line is not a hit even if the tag matches).
+func (c *Cache) Lookup(a mem.Addr) (set, way int, found bool) {
+	set = c.SetIndex(a)
+	tag := c.blockAddr(a)
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if ln.Valid && ln.Tag == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Line returns a pointer to the line at (set, way).
+func (c *Cache) Line(set, way int) *Line { return &c.sets[set][way] }
+
+// Touch marks (set, way) as most recently used and records the access time.
+func (c *Cache) Touch(set, way int, now sim.Cycle) {
+	c.stampClk++
+	c.lruStamp[set][way] = c.stampClk
+	c.sets[set][way].LastTouch = now
+}
+
+// Victim returns the way to replace in set: an invalid way if one exists,
+// otherwise the least recently used way.
+func (c *Cache) Victim(set int) int {
+	bestWay := 0
+	var bestStamp uint64
+	first := true
+	for w := range c.sets[set] {
+		if !c.sets[set][w].Valid {
+			return w
+		}
+		if first || c.lruStamp[set][w] < bestStamp {
+			bestWay, bestStamp = w, c.lruStamp[set][w]
+			first = false
+		}
+	}
+	return bestWay
+}
+
+// Install places the block containing a into (set, way), marking it valid
+// and most recently used.  The previous occupant must already have been
+// handled (written back / invalidated) by the caller.
+func (c *Cache) Install(a mem.Addr, set, way int, now sim.Cycle) *Line {
+	ln := &c.sets[set][way]
+	ln.Tag = c.blockAddr(a)
+	ln.Valid = true
+	ln.Dirty = false
+	ln.DecayCounter = 0
+	ln.DecayArmed = false
+	ln.LastTouch = now
+	c.Fills.Inc()
+	c.Touch(set, way, now)
+	return ln
+}
+
+// Invalidate clears the valid bit of (set, way).  Power state is untouched;
+// the leakage technique decides whether invalidation implies gating.
+func (c *Cache) Invalidate(set, way int) {
+	ln := &c.sets[set][way]
+	ln.Valid = false
+	ln.Dirty = false
+	ln.DecayCounter = 0
+	ln.DecayArmed = false
+}
+
+// PowerOn connects (set, way) to the supply rail at cycle now.
+func (c *Cache) PowerOn(set, way int, now sim.Cycle) {
+	ln := &c.sets[set][way]
+	if ln.Powered {
+		return
+	}
+	ln.Powered = true
+	ln.poweredSince = now
+	c.poweredLines++
+}
+
+// PowerOff gates (set, way) at cycle now and accumulates its on-time.
+func (c *Cache) PowerOff(set, way int, now sim.Cycle) {
+	ln := &c.sets[set][way]
+	if !ln.Powered {
+		return
+	}
+	c.onCycles += uint64(now - ln.poweredSince)
+	ln.Powered = false
+	c.poweredLines--
+}
+
+// PowerOnAll powers every line; used by the always-on baseline.
+func (c *Cache) PowerOnAll(now sim.Cycle) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.PowerOn(s, w, now)
+		}
+	}
+}
+
+// PoweredLines returns the number of lines currently powered on.
+func (c *Cache) PoweredLines() int { return c.poweredLines }
+
+// OnCycles returns the integral of powered line-cycles up to cycle now,
+// including lines that are still powered.
+func (c *Cache) OnCycles(now sim.Cycle) uint64 {
+	total := c.onCycles
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if ln.Powered {
+				total += uint64(now - ln.poweredSince)
+			}
+		}
+	}
+	return total
+}
+
+// OccupationRate returns the fraction of (line, cycle) pairs that were
+// powered on, over the first `elapsed` cycles — the paper's occupation-rate
+// definition applied to a single cache.
+func (c *Cache) OccupationRate(elapsed sim.Cycle) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	den := float64(c.cfg.NumLines()) * float64(elapsed)
+	return stats.Ratio(float64(c.OnCycles(elapsed)), den)
+}
+
+// ForEachLine invokes fn for every line with its set and way indices.
+func (c *Cache) ForEachLine(fn func(set, way int, ln *Line)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			fn(s, w, &c.sets[s][w])
+		}
+	}
+}
+
+// ForEachValid invokes fn for every valid line.
+func (c *Cache) ForEachValid(fn func(set, way int, ln *Line)) {
+	c.ForEachLine(func(set, way int, ln *Line) {
+		if ln.Valid {
+			fn(set, way, ln)
+		}
+	})
+}
+
+// CountValid returns how many lines are valid.
+func (c *Cache) CountValid() int {
+	n := 0
+	c.ForEachValid(func(int, int, *Line) { n++ })
+	return n
+}

@@ -1,0 +1,295 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
+)
+
+func smallConfig() Config {
+	return Config{
+		Name:          "test",
+		SizeBytes:     4096,
+		LineBytes:     64,
+		Assoc:         4,
+		LatencyCycles: 2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []Config{
+		{Name: "zero-size", SizeBytes: 0, LineBytes: 64, Assoc: 4},
+		{Name: "zero-line", SizeBytes: 4096, LineBytes: 0, Assoc: 4},
+		{Name: "zero-assoc", SizeBytes: 4096, LineBytes: 64, Assoc: 0},
+		{Name: "odd-line", SizeBytes: 4096, LineBytes: 48, Assoc: 4},
+		{Name: "non-pow2-sets", SizeBytes: 4096 + 64*4, LineBytes: 64, Assoc: 4},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q should not validate", c.Name)
+		}
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	c := smallConfig()
+	if c.NumLines() != 64 {
+		t.Fatalf("NumLines %d, want 64", c.NumLines())
+	}
+	if c.NumSets() != 16 {
+		t.Fatalf("NumSets %d, want 16", c.NumSets())
+	}
+	c.ExtraLatency = 1
+	if c.Latency() != 3 {
+		t.Fatalf("Latency %d, want 3", c.Latency())
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestLookupMissOnEmpty(t *testing.T) {
+	c := MustNew(smallConfig())
+	if _, _, found := c.Lookup(0x1000); found {
+		t.Fatal("lookup in empty cache found a line")
+	}
+}
+
+func TestInstallAndLookup(t *testing.T) {
+	c := MustNew(smallConfig())
+	addr := mem.Addr(0x12345)
+	set, way, found := c.Lookup(addr)
+	if found {
+		t.Fatal("unexpected hit")
+	}
+	way = c.Victim(set)
+	c.Install(addr, set, way, 10)
+	s2, w2, found := c.Lookup(addr)
+	if !found || s2 != set || w2 != way {
+		t.Fatalf("installed block not found: set %d way %d found %v", s2, w2, found)
+	}
+	ln := c.Line(s2, w2)
+	if ln.Tag != mem.BlockAddr(addr, 64) {
+		t.Fatalf("tag %v, want block-aligned %v", ln.Tag, mem.BlockAddr(addr, 64))
+	}
+	// Another address in the same block also hits.
+	if _, _, found := c.Lookup(addr + 1); !found {
+		t.Fatal("same-block address did not hit")
+	}
+	// A different block misses.
+	if _, _, found := c.Lookup(addr + 64); found {
+		t.Fatal("different block hit unexpectedly")
+	}
+}
+
+func TestVictimPrefersInvalid(t *testing.T) {
+	c := MustNew(smallConfig())
+	addr := mem.Addr(0)
+	set := c.SetIndex(addr)
+	// Fill three of four ways.
+	for i := 0; i < 3; i++ {
+		a := addr + mem.Addr(i)*64*16 // same set (16 sets * 64B line)
+		s, _, _ := c.Lookup(a)
+		if s != set {
+			t.Fatalf("address construction broken: set %d vs %d", s, set)
+		}
+		c.Install(a, set, c.Victim(set), sim.Cycle(i))
+	}
+	v := c.Victim(set)
+	if c.Line(set, v).Valid {
+		t.Fatal("victim selection ignored an invalid way")
+	}
+}
+
+func TestVictimLRU(t *testing.T) {
+	c := MustNew(smallConfig())
+	base := mem.Addr(0)
+	set := c.SetIndex(base)
+	addrs := make([]mem.Addr, 4)
+	for i := range addrs {
+		addrs[i] = base + mem.Addr(i)*64*16
+		c.Install(addrs[i], set, c.Victim(set), sim.Cycle(i))
+	}
+	// Touch 0 again so way holding addrs[1] becomes LRU.
+	s, w, _ := c.Lookup(addrs[0])
+	c.Touch(s, w, 100)
+	v := c.Victim(set)
+	if c.Line(set, v).Tag != addrs[1] {
+		t.Fatalf("LRU victim holds %v, want %v", c.Line(set, v).Tag, addrs[1])
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(smallConfig())
+	a := mem.Addr(0x40)
+	set, _, _ := c.Lookup(a)
+	way := c.Victim(set)
+	ln := c.Install(a, set, way, 1)
+	ln.Dirty = true
+	ln.DecayArmed = true
+	c.Invalidate(set, way)
+	if ln.Valid || ln.Dirty || ln.DecayArmed || ln.DecayCounter != 0 {
+		t.Fatal("invalidate did not clear line metadata")
+	}
+	if _, _, found := c.Lookup(a); found {
+		t.Fatal("invalidated block still found")
+	}
+}
+
+func TestPowerAccounting(t *testing.T) {
+	c := MustNew(smallConfig())
+	c.PowerOn(0, 0, 100)
+	c.PowerOn(0, 1, 100)
+	if c.PoweredLines() != 2 {
+		t.Fatalf("powered lines %d, want 2", c.PoweredLines())
+	}
+	c.PowerOff(0, 0, 150)
+	if c.PoweredLines() != 1 {
+		t.Fatalf("powered lines %d, want 1", c.PoweredLines())
+	}
+	// 50 cycles from the closed line + 100 from the still-open one at t=200.
+	if got := c.OnCycles(200); got != 50+100 {
+		t.Fatalf("OnCycles(200) = %d, want 150", got)
+	}
+	// Double power-on and double power-off are idempotent.
+	c.PowerOn(0, 1, 160)
+	c.PowerOff(0, 0, 170)
+	if c.PoweredLines() != 1 {
+		t.Fatal("idempotence violated")
+	}
+}
+
+func TestPowerOnAllAndOccupation(t *testing.T) {
+	c := MustNew(smallConfig())
+	c.PowerOnAll(0)
+	if c.PoweredLines() != c.Config().NumLines() {
+		t.Fatal("PowerOnAll did not power every line")
+	}
+	if rate := c.OccupationRate(1000); rate < 0.999 || rate > 1.001 {
+		t.Fatalf("occupation of always-on cache %v, want 1.0", rate)
+	}
+}
+
+func TestOccupationRateHalf(t *testing.T) {
+	c := MustNew(smallConfig())
+	n := c.Config().NumLines()
+	// Power half the lines for the whole window.
+	i := 0
+	c.ForEachLine(func(set, way int, _ *Line) {
+		if i < n/2 {
+			c.PowerOn(set, way, 0)
+		}
+		i++
+	})
+	rate := c.OccupationRate(1000)
+	if rate < 0.49 || rate > 0.51 {
+		t.Fatalf("occupation %v, want ~0.5", rate)
+	}
+}
+
+func TestOccupationRateZeroElapsed(t *testing.T) {
+	c := MustNew(smallConfig())
+	if c.OccupationRate(0) != 0 {
+		t.Fatal("occupation over zero cycles should be 0")
+	}
+}
+
+func TestForEachValidAndCount(t *testing.T) {
+	c := MustNew(smallConfig())
+	if c.CountValid() != 0 {
+		t.Fatal("empty cache reports valid lines")
+	}
+	for i := 0; i < 10; i++ {
+		a := mem.Addr(i * 64)
+		set, _, _ := c.Lookup(a)
+		c.Install(a, set, c.Victim(set), sim.Cycle(i))
+	}
+	if c.CountValid() != 10 {
+		t.Fatalf("CountValid %d, want 10", c.CountValid())
+	}
+}
+
+func TestSetIndexStableWithinBlock(t *testing.T) {
+	c := MustNew(smallConfig())
+	for off := mem.Addr(0); off < 64; off++ {
+		if c.SetIndex(0x1000+off) != c.SetIndex(0x1000) {
+			t.Fatal("addresses within a block map to different sets")
+		}
+	}
+}
+
+// Property: after installing any sequence of addresses, every valid line's
+// tag is block-aligned and maps back to the set it occupies.
+func TestPropertyTagsConsistent(t *testing.T) {
+	f := func(raw []uint32) bool {
+		c := MustNew(smallConfig())
+		for i, r := range raw {
+			a := mem.Addr(r)
+			set, way, found := c.Lookup(a)
+			if found {
+				c.Touch(set, way, sim.Cycle(i))
+				continue
+			}
+			way = c.Victim(set)
+			if c.Line(set, way).Valid {
+				c.Invalidate(set, way)
+			}
+			c.Install(a, set, way, sim.Cycle(i))
+		}
+		ok := true
+		c.ForEachValid(func(set, way int, ln *Line) {
+			if mem.BlockOffset(ln.Tag, c.Config().LineBytes) != 0 {
+				ok = false
+			}
+			if c.SetIndex(ln.Tag) != set {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of powered lines never goes negative or exceeds the
+// number of lines, for any interleaving of PowerOn/PowerOff.
+func TestPropertyPowerBounds(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := MustNew(smallConfig())
+		lines := c.Config().NumLines()
+		now := sim.Cycle(0)
+		for _, op := range ops {
+			now++
+			idx := int(op) % lines
+			set, way := idx/c.Config().Assoc, idx%c.Config().Assoc
+			if op&0x8000 != 0 {
+				c.PowerOn(set, way, now)
+			} else {
+				c.PowerOff(set, way, now)
+			}
+			if c.PoweredLines() < 0 || c.PoweredLines() > lines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package cache
+
+import (
+	"cmpleak/internal/mem"
+	"cmpleak/internal/stats"
+)
+
+// MSHREntry tracks one outstanding miss: the block it targets and the
+// callbacks to invoke when the fill arrives.  Secondary misses to the same
+// block merge onto the entry instead of issuing new requests (hits under a
+// pending miss, as in the paper's Figure 1).
+type MSHREntry struct {
+	Block mem.Addr
+	// IsWrite records whether any merged request needs write permission,
+	// which the coherence layer uses to upgrade BusRd into BusRdX.
+	IsWrite bool
+	waiters []func()
+}
+
+// AddWaiter appends a completion callback to the entry.
+func (e *MSHREntry) AddWaiter(fn func()) {
+	if fn != nil {
+		e.waiters = append(e.waiters, fn)
+	}
+}
+
+// Waiters returns the number of merged requests.
+func (e *MSHREntry) Waiters() int { return len(e.waiters) }
+
+// MSHR is a set of miss-status holding registers with request merging.
+type MSHR struct {
+	capacity int
+	entries  map[mem.Addr]*MSHREntry
+
+	// Statistics.
+	Allocations stats.Counter
+	Merges      stats.Counter
+	FullStalls  stats.Counter
+	peak        int
+}
+
+// NewMSHR builds an MSHR with the given number of entries; capacity <= 0
+// means unlimited.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, entries: make(map[mem.Addr]*MSHREntry)}
+}
+
+// Lookup returns the entry for block, if any.
+func (m *MSHR) Lookup(block mem.Addr) *MSHREntry { return m.entries[block] }
+
+// Full reports whether a new allocation would exceed capacity.
+func (m *MSHR) Full() bool {
+	return m.capacity > 0 && len(m.entries) >= m.capacity
+}
+
+// Allocate returns the entry for block, creating it when absent.  The second
+// result reports whether the entry is new (a primary miss that must issue a
+// request downstream).  When the MSHR is full and the block has no existing
+// entry, Allocate returns (nil, false) and records a stall.
+func (m *MSHR) Allocate(block mem.Addr, isWrite bool) (*MSHREntry, bool) {
+	if e, ok := m.entries[block]; ok {
+		m.Merges.Inc()
+		if isWrite {
+			e.IsWrite = true
+		}
+		return e, false
+	}
+	if m.Full() {
+		m.FullStalls.Inc()
+		return nil, false
+	}
+	e := &MSHREntry{Block: block, IsWrite: isWrite}
+	m.entries[block] = e
+	m.Allocations.Inc()
+	if len(m.entries) > m.peak {
+		m.peak = len(m.entries)
+	}
+	return e, true
+}
+
+// Complete removes the entry for block and returns its callbacks so the
+// controller can fire them after installing the fill.
+func (m *MSHR) Complete(block mem.Addr) []func() {
+	e, ok := m.entries[block]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, block)
+	return e.waiters
+}
+
+// Outstanding returns the number of in-flight misses.
+func (m *MSHR) Outstanding() int { return len(m.entries) }
+
+// Peak returns the highest simultaneous occupancy observed.
+func (m *MSHR) Peak() int { return m.peak }

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cmpleak/internal/mem"
+)
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	m := NewMSHR(4)
+	e, isNew := m.Allocate(0x100, false)
+	if !isNew || e == nil {
+		t.Fatal("first allocation should be new")
+	}
+	e2, isNew2 := m.Allocate(0x100, true)
+	if isNew2 {
+		t.Fatal("second allocation to same block should merge")
+	}
+	if e2 != e {
+		t.Fatal("merge returned a different entry")
+	}
+	if !e.IsWrite {
+		t.Fatal("merged write did not set IsWrite")
+	}
+	if m.Merges.Value() != 1 || m.Allocations.Value() != 1 {
+		t.Fatal("merge/allocation counters wrong")
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x100, false)
+	m.Allocate(0x200, false)
+	if !m.Full() {
+		t.Fatal("MSHR should be full")
+	}
+	e, isNew := m.Allocate(0x300, false)
+	if e != nil || isNew {
+		t.Fatal("allocation beyond capacity should fail")
+	}
+	if m.FullStalls.Value() != 1 {
+		t.Fatal("full stall not counted")
+	}
+	// Merging into an existing entry is still allowed when full.
+	if e, _ := m.Allocate(0x200, false); e == nil {
+		t.Fatal("merge rejected while full")
+	}
+}
+
+func TestMSHRUnlimitedCapacity(t *testing.T) {
+	m := NewMSHR(0)
+	for i := 0; i < 1000; i++ {
+		if e, _ := m.Allocate(mem.Addr(i*64), false); e == nil {
+			t.Fatal("unlimited MSHR rejected an allocation")
+		}
+	}
+	if m.Outstanding() != 1000 {
+		t.Fatalf("outstanding %d, want 1000", m.Outstanding())
+	}
+}
+
+func TestMSHRCompleteFiresWaiters(t *testing.T) {
+	m := NewMSHR(4)
+	e, _ := m.Allocate(0x100, false)
+	calls := 0
+	e.AddWaiter(func() { calls++ })
+	e.AddWaiter(func() { calls++ })
+	e.AddWaiter(nil) // ignored
+	if e.Waiters() != 2 {
+		t.Fatalf("waiters %d, want 2", e.Waiters())
+	}
+	waiters := m.Complete(0x100)
+	for _, w := range waiters {
+		w()
+	}
+	if calls != 2 {
+		t.Fatalf("waiter calls %d, want 2", calls)
+	}
+	if m.Lookup(0x100) != nil {
+		t.Fatal("entry survived completion")
+	}
+	if m.Complete(0x100) != nil {
+		t.Fatal("completing an absent block should return nil")
+	}
+}
+
+func TestMSHRPeak(t *testing.T) {
+	m := NewMSHR(8)
+	m.Allocate(0x100, false)
+	m.Allocate(0x200, false)
+	m.Allocate(0x300, false)
+	m.Complete(0x100)
+	m.Allocate(0x400, false)
+	if m.Peak() != 3 {
+		t.Fatalf("peak %d, want 3", m.Peak())
+	}
+}
+
+// Property: outstanding never exceeds capacity for a bounded MSHR.
+func TestPropertyMSHRCapacityBound(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		m := NewMSHR(4)
+		for _, b := range blocks {
+			m.Allocate(mem.Addr(b)*64, b%2 == 0)
+			if b%3 == 0 {
+				m.Complete(mem.Addr(b) * 64)
+			}
+			if m.Outstanding() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

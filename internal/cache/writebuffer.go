@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"cmpleak/internal/mem"
+	"cmpleak/internal/stats"
+)
+
+// WriteBuffer models the L1 write buffer of a write-through cache
+// (Figure 1 of the paper).  Stores are posted into the buffer and drained
+// toward the L2 in FIFO order; writes to a block already buffered coalesce.
+// The buffer also answers the "pending write" check of Table I: a line with
+// a pending write in the buffer may not be considered clean by the turn-off
+// logic.
+type WriteBuffer struct {
+	capacity int
+	queue    []mem.Addr
+	pending  map[mem.Addr]int // block -> number of coalesced stores
+
+	// Statistics.
+	Enqueued  stats.Counter
+	Coalesced stats.Counter
+	Drained   stats.Counter
+	FullStall stats.Counter
+	peak      int
+}
+
+// NewWriteBuffer builds a buffer holding up to capacity distinct blocks;
+// capacity <= 0 means unlimited.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	return &WriteBuffer{capacity: capacity, pending: make(map[mem.Addr]int)}
+}
+
+// Full reports whether a new block cannot currently be accepted.
+func (b *WriteBuffer) Full() bool {
+	return b.capacity > 0 && len(b.queue) >= b.capacity
+}
+
+// Push records a store to block.  It returns false (and counts a stall) when
+// the buffer is full and the block is not already present.
+func (b *WriteBuffer) Push(block mem.Addr) bool {
+	if n, ok := b.pending[block]; ok {
+		b.pending[block] = n + 1
+		b.Coalesced.Inc()
+		return true
+	}
+	if b.Full() {
+		b.FullStall.Inc()
+		return false
+	}
+	b.queue = append(b.queue, block)
+	b.pending[block] = 1
+	b.Enqueued.Inc()
+	if len(b.queue) > b.peak {
+		b.peak = len(b.queue)
+	}
+	return true
+}
+
+// Pop removes and returns the oldest buffered block; ok is false when the
+// buffer is empty.
+func (b *WriteBuffer) Pop() (block mem.Addr, ok bool) {
+	if len(b.queue) == 0 {
+		return 0, false
+	}
+	block = b.queue[0]
+	b.queue = b.queue[1:]
+	delete(b.pending, block)
+	b.Drained.Inc()
+	return block, true
+}
+
+// HasPending reports whether a store to block is still buffered — the
+// Table I "pending write" condition.
+func (b *WriteBuffer) HasPending(block mem.Addr) bool {
+	_, ok := b.pending[block]
+	return ok
+}
+
+// Len returns the number of distinct blocks buffered.
+func (b *WriteBuffer) Len() int { return len(b.queue) }
+
+// Peak returns the highest occupancy observed.
+func (b *WriteBuffer) Peak() int { return b.peak }

@@ -1,0 +1,300 @@
+package coherence
+
+import (
+	"cmpleak/internal/cache"
+	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/stats"
+)
+
+// LowerLevel is the processor-side interface the private L2 controller
+// exposes to its L1 (PrRd / PrWr in the Figure 2 edge labels).  The done
+// callbacks fire when the L2 has serviced the request.
+type LowerLevel interface {
+	// Read requests the block on behalf of an L1 load miss.
+	Read(block mem.Addr, done func())
+	// Write propagates a write-through store to the L2.
+	Write(block mem.Addr, done func())
+}
+
+// L1Config parameterises one private L1 data cache.
+type L1Config struct {
+	Cache            cache.Config
+	MSHREntries      int
+	WriteBufferSlots int
+	// RetryCycles is the back-off used when the MSHR or write buffer is
+	// full.
+	RetryCycles sim.Cycle
+	// DrainGapCycles separates consecutive write-buffer drains toward L2.
+	DrainGapCycles sim.Cycle
+}
+
+// DefaultL1Config returns a 32 KB, 4-way, write-through L1 with an 8-entry
+// MSHR and an 8-entry write buffer, matching the paper's system sketch.
+func DefaultL1Config(name string) L1Config {
+	return L1Config{
+		Cache: cache.Config{
+			Name:          name,
+			SizeBytes:     32 * 1024,
+			LineBytes:     64,
+			Assoc:         4,
+			LatencyCycles: 2,
+		},
+		MSHREntries:      8,
+		WriteBufferSlots: 8,
+		RetryCycles:      4,
+		DrainGapCycles:   1,
+	}
+}
+
+// L1Controller models a private, write-through, no-write-allocate L1 data
+// cache with a write buffer and an MSHR, as sketched in Figure 1 of the
+// paper.  Because the L1 is write-through, every line it holds is clean and
+// the inclusion property with the L2 is maintained by back-invalidation.
+type L1Controller struct {
+	id    int
+	eng   *sim.Engine
+	cfg   L1Config
+	cache *cache.Cache
+	mshr  *cache.MSHR
+	wb    *cache.WriteBuffer
+	below LowerLevel
+
+	draining bool
+	// stalledStores queues stores that found the write buffer full; they
+	// are admitted in order as drains free slots (no polling).
+	stalledStores []pendingStore
+
+	// Statistics.
+	Loads            stats.Counter
+	Stores           stats.Counter
+	LoadHits         stats.Counter
+	LoadMisses       stats.Counter
+	StoreHits        stats.Counter
+	StoreMisses      stats.Counter
+	BackInvalidates  stats.Counter
+	RetryEvents      stats.Counter
+	LoadLatency      stats.Accumulator
+	StoreAcceptDelay stats.Accumulator
+}
+
+// NewL1Controller builds an L1 controller; below may be set later with
+// SetLowerLevel (the system wires L1 and L2 together after both exist).
+func NewL1Controller(id int, eng *sim.Engine, cfg L1Config) (*L1Controller, error) {
+	arr, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RetryCycles == 0 {
+		cfg.RetryCycles = 4
+	}
+	if cfg.DrainGapCycles == 0 {
+		cfg.DrainGapCycles = 1
+	}
+	return &L1Controller{
+		id:    id,
+		eng:   eng,
+		cfg:   cfg,
+		cache: arr,
+		mshr:  cache.NewMSHR(cfg.MSHREntries),
+		wb:    cache.NewWriteBuffer(cfg.WriteBufferSlots),
+	}, nil
+}
+
+// SetLowerLevel wires the controller to its private L2.
+func (l *L1Controller) SetLowerLevel(below LowerLevel) { l.below = below }
+
+// Cache exposes the underlying array (used by power models and tests).
+func (l *L1Controller) Cache() *cache.Cache { return l.cache }
+
+// WriteBuffer exposes the write buffer (used by the Table I pending-write
+// check and by tests).
+func (l *L1Controller) WriteBuffer() *cache.WriteBuffer { return l.wb }
+
+// ID returns the core index this L1 belongs to.
+func (l *L1Controller) ID() int { return l.id }
+
+// block returns the block address for a.
+func (l *L1Controller) block(a mem.Addr) mem.Addr {
+	return mem.BlockAddr(a, l.cfg.Cache.LineBytes)
+}
+
+// Read services a load.  done fires when the data is available; the
+// controller records the observed latency for AMAT.
+func (l *L1Controller) Read(a mem.Addr, done func()) {
+	l.Loads.Inc()
+	start := l.eng.Now()
+	finish := func() {
+		l.LoadLatency.Observe(float64(l.eng.Now() - start))
+		if done != nil {
+			done()
+		}
+	}
+
+	set, way, hit := l.cache.Lookup(a)
+	if hit {
+		l.LoadHits.Inc()
+		l.cache.Touch(set, way, start)
+		l.cache.Hits.Inc()
+		l.eng.Schedule(l.cfg.Cache.Latency(), finish)
+		return
+	}
+	l.LoadMisses.Inc()
+	l.cache.Misses.Inc()
+	l.requestFill(a, finish)
+}
+
+// requestFill allocates an MSHR entry (retrying while full) and, for primary
+// misses, asks the L2 for the block.
+func (l *L1Controller) requestFill(a mem.Addr, done func()) {
+	block := l.block(a)
+	entry, isNew := l.mshr.Allocate(block, false)
+	if entry == nil {
+		// MSHR full: retry after a back-off.
+		l.RetryEvents.Inc()
+		l.eng.Schedule(l.cfg.RetryCycles, func() { l.requestFill(a, done) })
+		return
+	}
+	entry.AddWaiter(done)
+	if !isNew {
+		return
+	}
+	l.below.Read(block, func() { l.fill(block) })
+}
+
+// fill installs a block returned by the L2 and wakes all merged waiters.
+func (l *L1Controller) fill(block mem.Addr) {
+	now := l.eng.Now()
+	set, way, hit := l.cache.Lookup(block)
+	if !hit {
+		way = l.cache.Victim(set)
+		victim := l.cache.Line(set, way)
+		if victim.Valid {
+			// Write-through L1: the victim is clean, silently dropped.
+			l.cache.Evictions.Inc()
+			l.cache.Invalidate(set, way)
+		}
+		l.cache.Install(block, set, way, now)
+	} else {
+		l.cache.Touch(set, way, now)
+	}
+	for _, w := range l.mshr.Complete(block) {
+		// Waiters observe the L1 hit latency on top of the fill.
+		w := w
+		l.eng.Schedule(l.cfg.Cache.Latency(), w)
+	}
+}
+
+// Write services a store.  The L1 is write-through no-write-allocate: the
+// line is updated only on a hit, and the store always enters the write
+// buffer for propagation to the L2.  done fires when the store has been
+// accepted into the write buffer (weak consistency: the core does not wait
+// for the L2).
+func (l *L1Controller) Write(a mem.Addr, done func()) {
+	l.Stores.Inc()
+	start := l.eng.Now()
+	set, way, hit := l.cache.Lookup(a)
+	if hit {
+		l.StoreHits.Inc()
+		l.cache.Hits.Inc()
+		l.cache.Touch(set, way, start)
+	} else {
+		l.StoreMisses.Inc()
+		l.cache.Misses.Inc()
+	}
+	l.tryEnqueueStore(l.block(a), start, done)
+}
+
+// pendingStore is a store waiting for a write-buffer slot.
+type pendingStore struct {
+	block mem.Addr
+	start sim.Cycle
+	done  func()
+}
+
+// tryEnqueueStore pushes the store into the write buffer; when the buffer is
+// full the store queues and is admitted as soon as a drain frees a slot.
+func (l *L1Controller) tryEnqueueStore(block mem.Addr, start sim.Cycle, done func()) {
+	if !l.wb.Push(block) {
+		l.RetryEvents.Inc()
+		l.stalledStores = append(l.stalledStores, pendingStore{block: block, start: start, done: done})
+		return
+	}
+	l.acceptStore(start, done)
+	l.startDrain()
+}
+
+// acceptStore completes the processor side of a store once it sits in the
+// write buffer.
+func (l *L1Controller) acceptStore(start sim.Cycle, done func()) {
+	l.StoreAcceptDelay.Observe(float64(l.eng.Now() - start))
+	if done != nil {
+		l.eng.Schedule(l.cfg.Cache.Latency(), done)
+	}
+}
+
+// admitStalledStores moves queued stores into the write buffer while space
+// is available.
+func (l *L1Controller) admitStalledStores() {
+	for len(l.stalledStores) > 0 {
+		ps := l.stalledStores[0]
+		if !l.wb.Push(ps.block) {
+			return
+		}
+		l.stalledStores = l.stalledStores[1:]
+		l.acceptStore(ps.start, ps.done)
+	}
+}
+
+// startDrain begins (or continues) propagating buffered stores to the L2.
+func (l *L1Controller) startDrain() {
+	if l.draining {
+		return
+	}
+	block, ok := l.wb.Pop()
+	if !ok {
+		return
+	}
+	// Popping freed a slot: admit any stalled stores before going to the L2
+	// so their acceptance latency is not inflated by the L2 round trip.
+	l.admitStalledStores()
+	l.draining = true
+	l.below.Write(block, func() {
+		l.draining = false
+		l.admitStalledStores()
+		l.eng.Schedule(l.cfg.DrainGapCycles, l.startDrain)
+	})
+}
+
+// InvalidateBlock removes the block from the L1 if present.  The L2 calls
+// this to preserve inclusion when it invalidates, evicts or turns off a line
+// (the InvUpp action in Figure 2).  It returns true when a copy was present.
+func (l *L1Controller) InvalidateBlock(block mem.Addr) bool {
+	set, way, hit := l.cache.Lookup(block)
+	if !hit {
+		return false
+	}
+	l.BackInvalidates.Inc()
+	l.cache.Invalidate(set, way)
+	return true
+}
+
+// HasPendingWrite reports whether the write buffer still holds a store to
+// the block — the Table I "pending write" condition the turn-off logic must
+// honour.
+func (l *L1Controller) HasPendingWrite(block mem.Addr) bool {
+	return l.wb.HasPending(block)
+}
+
+// Accesses returns the total number of loads and stores serviced.
+func (l *L1Controller) Accesses() uint64 {
+	return l.Loads.Value() + l.Stores.Value()
+}
+
+// MissRate returns the combined L1 miss rate.
+func (l *L1Controller) MissRate() float64 {
+	return stats.RatioU(l.LoadMisses.Value()+l.StoreMisses.Value(), l.Accesses())
+}
+
+// AMAT returns the average load latency in cycles.
+func (l *L1Controller) AMAT() float64 { return l.LoadLatency.Mean() }

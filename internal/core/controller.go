@@ -1,0 +1,454 @@
+package core
+
+import (
+	"cmpleak/internal/cache"
+	"cmpleak/internal/coherence"
+	"cmpleak/internal/decay"
+	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/stats"
+)
+
+// ControllerConfig parameterises one leakage-aware private L2 controller.
+type ControllerConfig struct {
+	// ID is the core index this L2 belongs to.
+	ID int
+	// Cache is the L2 array geometry (ExtraLatency should already include
+	// the technique's access penalty).
+	Cache cache.Config
+	// MSHREntries bounds outstanding misses (0 = unlimited).
+	MSHREntries int
+	// RetryCycles is the back-off when the MSHR is full.
+	RetryCycles sim.Cycle
+	// StrictInclusion also back-invalidates the L1 when a clean line is
+	// turned off (ablation knob; the paper does not, as discussed in
+	// Section III).
+	StrictInclusion bool
+}
+
+// Controller is the leakage-aware, coherent, private L2 cache controller —
+// the paper's architectural contribution.  It implements:
+//
+//   - coherence.LowerLevel: the processor side (PrRd/PrWr from the L1),
+//   - coherence.Snooper: the bus side of the MESI protocol,
+//   - decay.Controller: the turn-off primitive offered to the techniques,
+//     following the modified FSM of Figure 2 (TC/TD transient states,
+//     upper-level invalidation and write-back for Modified lines).
+type Controller struct {
+	cfg  ControllerConfig
+	eng  *sim.Engine
+	arr  *cache.Cache
+	mshr *cache.MSHR
+	bus  *coherence.Bus
+	l1   *coherence.L1Controller
+	tech decay.Technique
+
+	// decayedBlocks remembers blocks removed by a decay turn-off so that a
+	// subsequent miss to them can be attributed to the technique.
+	decayedBlocks map[mem.Addr]struct{}
+
+	// Statistics.
+	Reads                  stats.Counter
+	Writes                 stats.Counter
+	ReadHits               stats.Counter
+	ReadMisses             stats.Counter
+	WriteHits              stats.Counter
+	WriteMisses            stats.Counter
+	Upgrades               stats.Counter
+	ProtocolInvalidations  stats.Counter
+	SnoopDowngrades        stats.Counter
+	Evictions              stats.Counter
+	EvictionWritebacks     stats.Counter
+	TurnOffRequests        stats.Counter
+	TurnOffsCompleted      stats.Counter
+	TurnOffWritebacks      stats.Counter
+	TurnOffL1Invalidations stats.Counter
+	TurnOffDeferred        stats.Counter
+	DecayInducedMisses     stats.Counter
+	RetryEvents            stats.Counter
+}
+
+// NewController builds the controller.  The L1 and technique are attached
+// afterwards by the system (AttachL1 / AttachTechnique) because the three
+// objects reference each other.
+func NewController(eng *sim.Engine, bus *coherence.Bus, cfg ControllerConfig) (*Controller, error) {
+	arr, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RetryCycles == 0 {
+		cfg.RetryCycles = 4
+	}
+	c := &Controller{
+		cfg:           cfg,
+		eng:           eng,
+		arr:           arr,
+		mshr:          cache.NewMSHR(cfg.MSHREntries),
+		bus:           bus,
+		decayedBlocks: make(map[mem.Addr]struct{}),
+	}
+	bus.Attach(c)
+	return c, nil
+}
+
+// AttachL1 wires the upper-level cache used for inclusion maintenance.
+func (c *Controller) AttachL1(l1 *coherence.L1Controller) { c.l1 = l1 }
+
+// AttachTechnique wires the leakage technique observing this controller.
+func (c *Controller) AttachTechnique(t decay.Technique) { c.tech = t }
+
+// ControllerID implements coherence.Snooper and decay.Controller.
+func (c *Controller) ControllerID() int { return c.cfg.ID }
+
+// Array implements decay.Controller.
+func (c *Controller) Array() *cache.Cache { return c.arr }
+
+// Now implements decay.Controller.
+func (c *Controller) Now() sim.Cycle { return c.eng.Now() }
+
+// LineState implements decay.Controller.
+func (c *Controller) LineState(set, way int) coherence.State {
+	ln := c.arr.Line(set, way)
+	if !ln.Valid {
+		return coherence.Invalid
+	}
+	return coherence.State(ln.State)
+}
+
+// setState records a coherence state change and fires the technique hook for
+// stationary-to-stationary transitions.
+func (c *Controller) setState(set, way int, newState coherence.State) {
+	ln := c.arr.Line(set, way)
+	old := coherence.State(ln.State)
+	ln.State = uint8(newState)
+	if old != newState && c.tech != nil && newState.Stable() && newState != coherence.Invalid {
+		c.tech.OnStateChange(c, set, way, old, newState)
+	}
+}
+
+// block returns the block-aligned address.
+func (c *Controller) block(a mem.Addr) mem.Addr {
+	return mem.BlockAddr(a, c.cfg.Cache.LineBytes)
+}
+
+// Accesses returns all processor-side accesses serviced.
+func (c *Controller) Accesses() uint64 { return c.Reads.Value() + c.Writes.Value() }
+
+// Misses returns all processor-side misses.
+func (c *Controller) Misses() uint64 { return c.ReadMisses.Value() + c.WriteMisses.Value() }
+
+// MissRate returns the processor-side miss rate.
+func (c *Controller) MissRate() float64 { return stats.RatioU(c.Misses(), c.Accesses()) }
+
+// ---------------------------------------------------------------------------
+// Processor side (coherence.LowerLevel)
+// ---------------------------------------------------------------------------
+
+// Read services a PrRd from the L1 (load miss in the upper level).
+func (c *Controller) Read(block mem.Addr, done func()) {
+	c.Reads.Inc()
+	set, way, hit := c.arr.Lookup(block)
+	if hit && c.LineState(set, way).Valid() {
+		c.ReadHits.Inc()
+		c.arr.Hits.Inc()
+		c.arr.Touch(set, way, c.eng.Now())
+		if c.tech != nil {
+			c.tech.OnHit(c, set, way, c.LineState(set, way))
+		}
+		c.eng.Schedule(c.cfg.Cache.Latency(), done)
+		return
+	}
+	c.ReadMisses.Inc()
+	c.arr.Misses.Inc()
+	c.noteDecayInducedMiss(block)
+	c.requestMiss(block, false, done)
+}
+
+// Write services a PrWr: a write-through store arriving from the L1 write
+// buffer.  The L2 allocates on write misses (it is the point of coherence).
+func (c *Controller) Write(block mem.Addr, done func()) {
+	c.Writes.Inc()
+	set, way, hit := c.arr.Lookup(block)
+	if hit {
+		st := c.LineState(set, way)
+		switch st {
+		case coherence.Modified:
+			c.writeHit(set, way, done)
+			return
+		case coherence.Exclusive:
+			// Silent E -> M upgrade.
+			c.arr.Line(set, way).Dirty = true
+			c.setState(set, way, coherence.Modified)
+			c.writeHit(set, way, done)
+			return
+		case coherence.Shared:
+			// Upgrade: invalidate other copies, no data transfer.
+			c.WriteHits.Inc()
+			c.arr.Hits.Inc()
+			c.Upgrades.Inc()
+			c.arr.Touch(set, way, c.eng.Now())
+			txn := coherence.Transaction{Kind: coherence.BusUpgr, Block: block, Requester: c.cfg.ID}
+			c.bus.Issue(txn, func(coherence.BusResult) {
+				s2, w2, still := c.arr.Lookup(block)
+				if still && c.LineState(s2, w2) == coherence.Shared {
+					c.arr.Line(s2, w2).Dirty = true
+					c.setState(s2, w2, coherence.Modified)
+					if c.tech != nil {
+						c.tech.OnHit(c, s2, w2, coherence.Modified)
+					}
+					c.eng.Schedule(c.cfg.Cache.Latency(), done)
+					return
+				}
+				// Lost the line to a racing invalidation or turn-off:
+				// fall back to a full write miss.
+				c.WriteMisses.Inc()
+				c.arr.Misses.Inc()
+				c.requestMiss(block, true, done)
+			})
+			return
+		default:
+			// Transient (being turned off): treat as a miss; the fill will
+			// re-install the block once the turn-off completes.
+		}
+	}
+	c.WriteMisses.Inc()
+	c.arr.Misses.Inc()
+	c.noteDecayInducedMiss(block)
+	c.requestMiss(block, true, done)
+}
+
+// writeHit finishes a write hit on a Modified line.
+func (c *Controller) writeHit(set, way int, done func()) {
+	c.WriteHits.Inc()
+	c.arr.Hits.Inc()
+	c.arr.Touch(set, way, c.eng.Now())
+	c.arr.Line(set, way).Dirty = true
+	if c.tech != nil {
+		c.tech.OnHit(c, set, way, coherence.Modified)
+	}
+	c.eng.Schedule(c.cfg.Cache.Latency(), done)
+}
+
+// noteDecayInducedMiss attributes a miss to a previous decay turn-off.
+func (c *Controller) noteDecayInducedMiss(block mem.Addr) {
+	if _, ok := c.decayedBlocks[block]; ok {
+		c.DecayInducedMisses.Inc()
+		delete(c.decayedBlocks, block)
+	}
+}
+
+// requestMiss allocates an MSHR entry (retrying while full) and issues the
+// bus transaction for primary misses.
+func (c *Controller) requestMiss(block mem.Addr, isWrite bool, done func()) {
+	entry, isNew := c.mshr.Allocate(block, isWrite)
+	if entry == nil {
+		c.RetryEvents.Inc()
+		c.eng.Schedule(c.cfg.RetryCycles, func() { c.requestMiss(block, isWrite, done) })
+		return
+	}
+	entry.AddWaiter(done)
+	if !isNew {
+		return
+	}
+	kind := coherence.BusRd
+	if isWrite {
+		kind = coherence.BusRdX
+	}
+	txn := coherence.Transaction{Kind: kind, Block: block, Requester: c.cfg.ID}
+	c.bus.Issue(txn, func(res coherence.BusResult) { c.fill(block, res) })
+}
+
+// fill installs a block returned by the bus and wakes the merged requests.
+func (c *Controller) fill(block mem.Addr, res coherence.BusResult) {
+	now := c.eng.Now()
+	entry := c.mshr.Lookup(block)
+	wantWrite := entry != nil && entry.IsWrite
+
+	set, way, hit := c.arr.Lookup(block)
+	if !hit {
+		way = c.arr.Victim(set)
+		c.evictForFill(set, way)
+		c.arr.Install(block, set, way, now)
+		c.arr.PowerOn(set, way, now)
+	} else {
+		c.arr.Touch(set, way, now)
+	}
+	ln := c.arr.Line(set, way)
+	var st coherence.State
+	switch {
+	case wantWrite:
+		st = coherence.Modified
+		ln.Dirty = true
+	case res.Snoop.Shared:
+		st = coherence.Shared
+	default:
+		st = coherence.Exclusive
+	}
+	ln.State = uint8(st)
+	if c.tech != nil {
+		c.tech.OnFill(c, set, way, st)
+	}
+	for _, w := range c.mshr.Complete(block) {
+		c.eng.Schedule(c.cfg.Cache.Latency(), w)
+	}
+}
+
+// evictForFill clears the victim way, writing back dirty data and preserving
+// inclusion by invalidating the L1 copy.
+func (c *Controller) evictForFill(set, way int) {
+	ln := c.arr.Line(set, way)
+	if !ln.Valid {
+		return
+	}
+	victimBlock := ln.Tag
+	st := coherence.State(ln.State)
+	c.Evictions.Inc()
+	c.arr.Evictions.Inc()
+	if st.Dirty() {
+		c.EvictionWritebacks.Inc()
+		c.arr.Writebacks.Inc()
+		txn := coherence.Transaction{Kind: coherence.WriteBack, Block: victimBlock, Requester: c.cfg.ID}
+		c.bus.Issue(txn, nil)
+	}
+	if c.l1 != nil {
+		c.l1.InvalidateBlock(victimBlock)
+	}
+	c.arr.Invalidate(set, way)
+	// The way is reused immediately by the incoming fill, so the line is
+	// not gated here; the technique only observes true protocol
+	// invalidations and decay turn-offs.
+}
+
+// ---------------------------------------------------------------------------
+// Bus side (coherence.Snooper)
+// ---------------------------------------------------------------------------
+
+// Snoop implements the remote side of the MESI protocol for this cache.
+func (c *Controller) Snoop(txn coherence.Transaction) coherence.SnoopResponse {
+	switch txn.Kind {
+	case coherence.WriteBack:
+		return coherence.SnoopResponse{}
+	}
+	set, way, hit := c.arr.Lookup(txn.Block)
+	if !hit || !c.LineState(set, way).Valid() {
+		// A pending fill counts as a (future) sharer so two simultaneous
+		// readers do not both believe they are exclusive.
+		if c.mshr.Lookup(txn.Block) != nil && txn.Kind == coherence.BusRd {
+			return coherence.SnoopResponse{Shared: true}
+		}
+		return coherence.SnoopResponse{}
+	}
+	st := c.LineState(set, way)
+	switch txn.Kind {
+	case coherence.BusRd:
+		switch st {
+		case coherence.Modified, coherence.TransientDirty:
+			// Flush: supply the data, memory is updated, downgrade to S.
+			c.SnoopDowngrades.Inc()
+			c.arr.Line(set, way).Dirty = false
+			c.setState(set, way, coherence.Shared)
+			return coherence.SnoopResponse{Shared: true, Dirty: true}
+		case coherence.Exclusive:
+			c.SnoopDowngrades.Inc()
+			c.setState(set, way, coherence.Shared)
+			return coherence.SnoopResponse{Shared: true}
+		default:
+			return coherence.SnoopResponse{Shared: true}
+		}
+	case coherence.BusRdX, coherence.BusUpgr:
+		dirty := st.Dirty()
+		c.invalidateByProtocol(set, way)
+		return coherence.SnoopResponse{Shared: false, Dirty: dirty}
+	}
+	return coherence.SnoopResponse{}
+}
+
+// invalidateByProtocol performs a protocol invalidation: the L1 copy is
+// removed (inclusion), the line goes to Invalid, and the technique is told
+// (the Protocol technique gates the line here).
+func (c *Controller) invalidateByProtocol(set, way int) {
+	ln := c.arr.Line(set, way)
+	block := ln.Tag
+	c.ProtocolInvalidations.Inc()
+	if c.l1 != nil {
+		c.l1.InvalidateBlock(block)
+	}
+	c.arr.Invalidate(set, way)
+	ln.State = uint8(coherence.Invalid)
+	if c.tech != nil {
+		c.tech.OnProtocolInvalidate(c, set, way)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Turn-off primitive (decay.Controller)
+// ---------------------------------------------------------------------------
+
+// RequestTurnOff implements the Figure 2 turn-off protocol for the line at
+// (set, way).  Modified lines transition through TD: the upper level is
+// invalidated and the block written back before the line is gated.  Shared
+// and Exclusive lines are gated immediately.  Transient lines and lines with
+// a pending write in the L1 write buffer defer the request (Table I).
+func (c *Controller) RequestTurnOff(set, way int) {
+	ln := c.arr.Line(set, way)
+	if !ln.Valid || !ln.Powered {
+		return
+	}
+	c.TurnOffRequests.Inc()
+	block := ln.Tag
+	st := c.LineState(set, way)
+	pending := c.l1 != nil && c.l1.HasPendingWrite(block)
+	action := DecisionForState(st, pending)
+	if !action.CanTurnOff {
+		c.TurnOffDeferred.Inc()
+		return
+	}
+
+	if action.MustInvalidateUpper {
+		if c.l1 != nil && c.l1.InvalidateBlock(block) {
+			c.TurnOffL1Invalidations.Inc()
+		}
+	} else if c.cfg.StrictInclusion && c.l1 != nil {
+		if c.l1.InvalidateBlock(block) {
+			c.TurnOffL1Invalidations.Inc()
+		}
+	}
+
+	if action.MustWriteBack {
+		// Figure 2: M --Turn-off--> TD --(write-back done)--> I.
+		c.setStateRaw(set, way, coherence.TransientDirty)
+		c.TurnOffWritebacks.Inc()
+		c.arr.Writebacks.Inc()
+		txn := coherence.Transaction{Kind: coherence.WriteBack, Block: block, Requester: c.cfg.ID}
+		c.bus.Issue(txn, func(coherence.BusResult) {
+			s2, w2, still := c.arr.Lookup(block)
+			if !still || c.LineState(s2, w2) != coherence.TransientDirty {
+				// The line was re-fetched or invalidated while the
+				// write-back was in flight; nothing left to gate.
+				return
+			}
+			c.completeTurnOff(s2, w2, block)
+		})
+		return
+	}
+	c.completeTurnOff(set, way, block)
+}
+
+// setStateRaw changes the state without firing the stationary-transition
+// hook (used for transient states).
+func (c *Controller) setStateRaw(set, way int, st coherence.State) {
+	c.arr.Line(set, way).State = uint8(st)
+}
+
+// completeTurnOff gates the line: it reaches Invalid and is disconnected
+// from the supply rail, exactly as the valid-bit gating of the paper.
+func (c *Controller) completeTurnOff(set, way int, block mem.Addr) {
+	c.arr.Invalidate(set, way)
+	c.setStateRaw(set, way, coherence.Invalid)
+	c.arr.PowerOff(set, way, c.eng.Now())
+	c.TurnOffsCompleted.Inc()
+	c.decayedBlocks[block] = struct{}{}
+	if c.tech != nil {
+		c.tech.OnTurnedOff(c, set, way)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"cmpleak/internal/power"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/thermal"
+)
+
+// Result gathers everything a single simulation run produces; the experiment
+// layer combines Results of optimised and baseline runs into the relative
+// metrics the paper's figures report.
+type Result struct {
+	// Label describes the configuration ("WATER-NS 4MB decay512K").
+	Label string
+	// Benchmark and Technique identify the run.
+	Benchmark string
+	Technique string
+	// TotalL2Bytes is the aggregate L2 capacity.
+	TotalL2Bytes uint64
+
+	// Cycles is the execution time (cycles until the last core finished).
+	Cycles sim.Cycle
+	// Instructions is the total retired instruction count across cores.
+	Instructions uint64
+	// IPC is the aggregate instructions per cycle.
+	IPC float64
+	// PerCoreIPC lists each core's IPC.
+	PerCoreIPC []float64
+
+	// L2OccupationRate is the paper's occupation-rate metric: the fraction
+	// of (line, cycle) pairs powered on, aggregated over all L2 caches.
+	L2OccupationRate float64
+	// L2MissRate is the aggregate processor-side L2 miss rate.
+	L2MissRate float64
+	// L2Accesses / L2Misses are the absolute counts behind the rate.
+	L2Accesses uint64
+	L2Misses   uint64
+
+	// AMAT is the average memory access time observed by loads at the L1,
+	// in cycles.
+	AMAT float64
+	// L1MissRate is the aggregate L1 miss rate.
+	L1MissRate float64
+
+	// MemoryBytes is the total off-chip traffic (reads + write-backs +
+	// write-through writes reaching memory).
+	MemoryBytes uint64
+	// MemoryBandwidth is MemoryBytes divided by Cycles (bytes per cycle).
+	MemoryBandwidth float64
+	// BusUtilization is the fraction of cycles the shared bus was busy.
+	BusUtilization float64
+
+	// Energy is the per-component energy breakdown; EnergyJ is its total.
+	Energy  power.Breakdown
+	EnergyJ float64
+
+	// Temperatures at the end of the run, and the hottest block observed.
+	FinalTempsC [thermal.NumBlocks]float64
+	MaxTempC    float64
+
+	// Technique activity.
+	TurnOffRequests        uint64
+	TurnOffsCompleted      uint64
+	TurnOffWritebacks      uint64
+	TurnOffL1Invalidations uint64
+	ProtocolInvalidations  uint64
+	DecayInducedMisses     uint64
+	BackInvalidations      uint64
+}
+
+// Comparison is the set of relative metrics the paper's figures report,
+// computed against the always-on baseline of the same benchmark and cache
+// size.
+type Comparison struct {
+	// EnergyReduction is 1 - E_technique/E_baseline (positive = saving).
+	EnergyReduction float64
+	// IPCLoss is 1 - IPC_technique/IPC_baseline (positive = slower).
+	IPCLoss float64
+	// AMATIncrease is AMAT_technique/AMAT_baseline - 1.
+	AMATIncrease float64
+	// BandwidthIncrease is MemBytes_technique/MemBytes_baseline - 1.
+	BandwidthIncrease float64
+	// MissRateDelta is the absolute increase in L2 miss rate.
+	MissRateDelta float64
+	// OccupationRate is copied from the optimised run (baseline is 100%).
+	OccupationRate float64
+}
+
+// Compare computes the relative metrics of run r against baseline b.
+func Compare(r, b Result) Comparison {
+	cmp := Comparison{OccupationRate: r.L2OccupationRate}
+	if b.EnergyJ > 0 {
+		cmp.EnergyReduction = 1 - r.EnergyJ/b.EnergyJ
+	}
+	if b.IPC > 0 {
+		cmp.IPCLoss = 1 - r.IPC/b.IPC
+	}
+	if b.AMAT > 0 {
+		cmp.AMATIncrease = r.AMAT/b.AMAT - 1
+	}
+	if b.MemoryBytes > 0 {
+		cmp.BandwidthIncrease = float64(r.MemoryBytes)/float64(b.MemoryBytes) - 1
+	}
+	cmp.MissRateDelta = r.L2MissRate - b.L2MissRate
+	return cmp
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/decay"
+	"cmpleak/internal/workload"
+)
+
+// smallConfig returns a configuration small enough for unit tests: a
+// synthetic kernel of a few thousand references on the 4-core system.
+func smallConfig(tech decay.Spec) config.System {
+	cfg := config.Default()
+	syn := workload.DefaultSyntheticConfig()
+	syn.References = 4000
+	syn.SharedFraction = 0.3
+	syn.SharedStoreFraction = 0.3
+	cfg.Synthetic = &syn
+	cfg.WorkloadScale = 1
+	cfg = cfg.WithTotalL2MB(1)
+	// Callers pass decay times short enough for the short unit-test runs.
+	cfg.Technique = tech
+	cfg.MaxCycles = 50_000_000
+	return cfg
+}
+
+func TestSystemSmokeBaseline(t *testing.T) {
+	res, err := Run(smallConfig(config.Baseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Fatal("empty result")
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("IPC %v", res.IPC)
+	}
+	if res.L2OccupationRate < 0.999 {
+		t.Fatalf("baseline occupation %v, want 1.0", res.L2OccupationRate)
+	}
+	if res.EnergyJ <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestSystemSmokeDecay(t *testing.T) {
+	res, err := Run(smallConfig(decay.Spec{Kind: decay.KindDecay, DecayCycles: 8 * 1024}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L2OccupationRate >= 1.0 || res.L2OccupationRate <= 0 {
+		t.Fatalf("decay occupation %v should be in (0,1)", res.L2OccupationRate)
+	}
+	if res.TurnOffsCompleted == 0 {
+		t.Fatal("decay never turned a line off")
+	}
+}

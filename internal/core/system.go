@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+
+	"cmpleak/internal/cache"
+	"cmpleak/internal/coherence"
+	"cmpleak/internal/config"
+	"cmpleak/internal/cpu"
+	"cmpleak/internal/decay"
+	"cmpleak/internal/mem"
+	"cmpleak/internal/power"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/thermal"
+)
+
+// System assembles the full CMP of Figure 1 — cores, write-through L1s with
+// write buffers, leakage-aware private L2s, the snoopy bus, off-chip memory,
+// the selected leakage technique, and the power/thermal models — and runs
+// one benchmark to completion.
+type System struct {
+	cfg config.System
+
+	eng     *sim.Engine
+	memory  *mem.Memory
+	bus     *coherence.Bus
+	l1s     []*coherence.L1Controller
+	l2s     []*Controller
+	cores   []*cpu.Core
+	tech    decay.Technique
+	thermal *thermal.Model
+
+	coresDone int
+
+	// Energy integration state (per thermal sample).
+	breakdown       power.Breakdown
+	lastSample      sim.Cycle
+	lastInstrs      []uint64
+	lastL1Accesses  []uint64
+	lastL2Accesses  []uint64
+	lastL2On        []uint64
+	lastBusTxns     uint64
+	lastBusBytes    uint64
+	maxTempObserved float64
+}
+
+// NewSystem builds and wires the CMP described by the configuration.
+func NewSystem(cfg config.System) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tech, err := decay.New(cfg.Technique)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := cfg.Workload()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{cfg: cfg, eng: sim.NewEngine(), tech: tech}
+	s.memory = mem.New(s.eng, cfg.Memory)
+	s.bus = coherence.NewBus(s.eng, s.memory, cfg.Bus)
+	s.thermal, err = thermal.New(cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+
+	streams := gen.Streams(cfg.Cores, cfg.Seed)
+	coreCfg := cpu.Config{
+		IssueWidth:           cfg.Core.IssueWidth,
+		MaxOutstandingLoads:  cfg.Core.MaxOutstandingLoads,
+		MaxOutstandingStores: cfg.Core.MaxOutstandingStores,
+	}
+
+	s.l1s = make([]*coherence.L1Controller, cfg.Cores)
+	s.l2s = make([]*Controller, cfg.Cores)
+	s.cores = make([]*cpu.Core, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		l1cfg := cfg.L1
+		l1cfg.Cache.Name = fmt.Sprintf("L1-%d", i)
+		l1, err := coherence.NewL1Controller(i, s.eng, l1cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		l2cfg := cfg.L2
+		l2cfg.Name = fmt.Sprintf("L2-%d", i)
+		l2cfg.ExtraLatency = tech.ExtraAccessLatency()
+		ctrl, err := NewController(s.eng, s.bus, ControllerConfig{
+			ID:              i,
+			Cache:           l2cfg,
+			MSHREntries:     cfg.L2MSHREntries,
+			StrictInclusion: cfg.Technique.StrictInclusion,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctrl.AttachL1(l1)
+		ctrl.AttachTechnique(tech)
+		l1.SetLowerLevel(ctrl)
+
+		core, err := cpu.New(i, s.eng, coreCfg, l1, streams[i])
+		if err != nil {
+			return nil, err
+		}
+		core.OnDone(func(int) { s.coresDone++ })
+
+		s.l1s[i] = l1
+		s.l2s[i] = ctrl
+		s.cores[i] = core
+	}
+
+	s.lastInstrs = make([]uint64, cfg.Cores)
+	s.lastL1Accesses = make([]uint64, cfg.Cores)
+	s.lastL2Accesses = make([]uint64, cfg.Cores)
+	s.lastL2On = make([]uint64, cfg.Cores)
+	s.maxTempObserved = s.thermal.MaxTemp()
+	return s, nil
+}
+
+// Engine exposes the simulation engine (used by tests).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Controllers exposes the L2 controllers (used by tests and tools).
+func (s *System) Controllers() []*Controller { return s.l2s }
+
+// L1s exposes the L1 controllers.
+func (s *System) L1s() []*coherence.L1Controller { return s.l1s }
+
+// Bus exposes the shared bus.
+func (s *System) Bus() *coherence.Bus { return s.bus }
+
+// Memory exposes the off-chip memory model.
+func (s *System) Memory() *mem.Memory { return s.memory }
+
+// Technique exposes the leakage technique instance.
+func (s *System) Technique() decay.Technique { return s.tech }
+
+// allDone reports whether every core finished.
+func (s *System) allDone() bool { return s.coresDone >= len(s.cores) }
+
+// Run executes the benchmark to completion and returns the collected result.
+func (s *System) Run() (Result, error) {
+	// Start the technique (baseline powers everything; decay techniques
+	// start their global-tick scanners), then the cores.
+	for _, ctrl := range s.l2s {
+		s.tech.Start(s.eng, ctrl)
+	}
+	for _, c := range s.cores {
+		c.Start()
+	}
+	// The periodic power/thermal sampler mirrors the paper's 10 000-cycle
+	// power trace.
+	sampler := sim.NewTicker(s.eng, s.cfg.ThermalSampleCycles, func(now sim.Cycle) bool {
+		s.samplePowerAndThermal(now)
+		return !s.allDone()
+	})
+
+	for !s.allDone() {
+		if !s.eng.Step() {
+			return Result{}, fmt.Errorf("core: event queue drained before all cores finished (%d/%d done)",
+				s.coresDone, len(s.cores))
+		}
+		if s.cfg.MaxCycles != 0 && s.eng.Now() > s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("core: simulation exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		}
+	}
+	sampler.Stop()
+	// Account the tail interval since the last sample.
+	s.samplePowerAndThermal(s.eng.Now())
+	return s.collect(), nil
+}
+
+// samplePowerAndThermal integrates energy over the elapsed interval and
+// advances the thermal model with the interval's average power.
+func (s *System) samplePowerAndThermal(now sim.Cycle) {
+	if now <= s.lastSample {
+		return
+	}
+	interval := uint64(now - s.lastSample)
+	dt := s.cfg.Power.CyclesToSeconds(interval)
+	p := s.cfg.Power
+
+	var blockPower [thermal.NumBlocks]float64
+	counterLeak := 0.0
+	if s.tech.HasDecayCounters() {
+		counterLeak = p.DecayCounterLeakFraction
+	}
+	areaOverhead := s.tech.AreaOverhead()
+
+	for i := range s.cores {
+		coreTemp := s.thermal.Temp(thermal.CoreBlock(i))
+		l2Temp := s.thermal.Temp(thermal.L2Block(i))
+		if !s.cfg.ThermalFeedback {
+			coreTemp = s.cfg.Thermal.InitialC
+			l2Temp = s.cfg.Thermal.InitialC
+		}
+		coreScale := p.Leakage.Scale(coreTemp)
+		l2Scale := p.Leakage.Scale(l2Temp)
+
+		// Core + L1 (same floorplan block).
+		instrs := s.cores[i].Instructions.Value()
+		dInstrs := instrs - s.lastInstrs[i]
+		s.lastInstrs[i] = instrs
+		coreDyn := power.CoreDynamicEnergy(p, dInstrs)
+		coreLeak := power.CoreLeakageEnergy(p, interval, coreScale)
+
+		l1Acc := s.l1s[i].Accesses()
+		dL1 := l1Acc - s.lastL1Accesses[i]
+		s.lastL1Accesses[i] = l1Acc
+		l1Dyn := power.L1DynamicEnergy(p, dL1)
+		l1Leak := power.L1LeakageEnergy(p, interval, coreScale)
+
+		// L2 bank: dynamic from accesses, leakage from exact on/off
+		// line-cycles in the interval.
+		l2cfgArr := s.l2s[i].Array()
+		l2Acc := s.l2s[i].Accesses()
+		dL2 := l2Acc - s.lastL2Accesses[i]
+		s.lastL2Accesses[i] = l2Acc
+		l2Dyn := float64(dL2) * power.L2AccessEnergy(p, l2cfgArr.Config())
+
+		onTotal := l2cfgArr.OnCycles(now)
+		dOn := onTotal - s.lastL2On[i]
+		s.lastL2On[i] = onTotal
+		totalLineCycles := uint64(l2cfgArr.Config().NumLines()) * interval
+		dOff := uint64(0)
+		if totalLineCycles > dOn {
+			dOff = totalLineCycles - dOn
+		}
+		l2Leak := power.CacheLeakageEnergy(p, l2cfgArr.Config(), dOn, dOff, l2Scale, areaOverhead, counterLeak)
+
+		decayDyn := 0.0
+		if s.tech.HasDecayCounters() {
+			decayDyn = power.DecayCounterDynamicEnergy(p, dL2)
+		}
+
+		s.breakdown.CoreDynamic += coreDyn
+		s.breakdown.CoreLeakage += coreLeak
+		s.breakdown.L1Dynamic += l1Dyn
+		s.breakdown.L1Leakage += l1Leak
+		s.breakdown.L2Dynamic += l2Dyn
+		s.breakdown.L2Leakage += l2Leak
+		s.breakdown.DecayOverhead += decayDyn
+
+		blockPower[thermal.CoreBlock(i)] = (coreDyn + coreLeak + l1Dyn + l1Leak) / dt
+		blockPower[thermal.L2Block(i)] = (l2Dyn + l2Leak + decayDyn) / dt
+	}
+
+	busTxns := s.bus.Transactions.Value()
+	busBytes := s.bus.BytesTransfered.Value()
+	busEnergy := power.BusEnergy(p, busTxns-s.lastBusTxns, busBytes-s.lastBusBytes)
+	s.lastBusTxns, s.lastBusBytes = busTxns, busBytes
+	s.breakdown.Bus += busEnergy
+	blockPower[thermal.BusBlock] = busEnergy / dt
+
+	if s.cfg.ThermalFeedback {
+		s.thermal.Step(blockPower, dt)
+		if t := s.thermal.MaxTemp(); t > s.maxTempObserved {
+			s.maxTempObserved = t
+		}
+	}
+	s.lastSample = now
+}
+
+// collect assembles the Result after the run completes.
+func (s *System) collect() Result {
+	now := s.eng.Now()
+	res := Result{
+		Label:        s.cfg.Label(),
+		Benchmark:    s.benchmarkName(),
+		Technique:    s.cfg.Technique.Name(),
+		TotalL2Bytes: s.cfg.TotalL2Bytes(),
+		Cycles:       now,
+		Energy:       s.breakdown,
+		EnergyJ:      s.breakdown.Total(),
+		FinalTempsC:  s.thermal.Temps(),
+		MaxTempC:     s.maxTempObserved,
+	}
+
+	var onCycles, lineCycles float64
+	var l2Acc, l2Miss uint64
+	var loadLatSum, loadCount float64
+	var l1Acc, l1Miss uint64
+	for i := range s.cores {
+		res.Instructions += s.cores[i].Instructions.Value()
+		res.PerCoreIPC = append(res.PerCoreIPC, s.cores[i].IPC())
+
+		arr := s.l2s[i].Array()
+		onCycles += float64(arr.OnCycles(now))
+		lineCycles += float64(arr.Config().NumLines()) * float64(now)
+		l2Acc += s.l2s[i].Accesses()
+		l2Miss += s.l2s[i].Misses()
+
+		loadLatSum += s.l1s[i].LoadLatency.Sum()
+		loadCount += float64(s.l1s[i].LoadLatency.Count())
+		l1Acc += s.l1s[i].Accesses()
+		l1Miss += s.l1s[i].LoadMisses.Value() + s.l1s[i].StoreMisses.Value()
+
+		res.TurnOffRequests += s.l2s[i].TurnOffRequests.Value()
+		res.TurnOffsCompleted += s.l2s[i].TurnOffsCompleted.Value()
+		res.TurnOffWritebacks += s.l2s[i].TurnOffWritebacks.Value()
+		res.TurnOffL1Invalidations += s.l2s[i].TurnOffL1Invalidations.Value()
+		res.ProtocolInvalidations += s.l2s[i].ProtocolInvalidations.Value()
+		res.DecayInducedMisses += s.l2s[i].DecayInducedMisses.Value()
+		res.BackInvalidations += s.l1s[i].BackInvalidates.Value()
+	}
+	if now > 0 {
+		res.IPC = float64(res.Instructions) / float64(now)
+		res.MemoryBandwidth = float64(s.memory.TotalBytes()) / float64(now)
+		res.BusUtilization = s.bus.Utilization(now)
+	}
+	if lineCycles > 0 {
+		res.L2OccupationRate = onCycles / lineCycles
+	}
+	if l2Acc > 0 {
+		res.L2MissRate = float64(l2Miss) / float64(l2Acc)
+	}
+	res.L2Accesses, res.L2Misses = l2Acc, l2Miss
+	if loadCount > 0 {
+		res.AMAT = loadLatSum / loadCount
+	}
+	if l1Acc > 0 {
+		res.L1MissRate = float64(l1Miss) / float64(l1Acc)
+	}
+	res.MemoryBytes = s.memory.TotalBytes()
+	return res
+}
+
+func (s *System) benchmarkName() string {
+	if s.cfg.Synthetic != nil {
+		if s.cfg.Synthetic.Name != "" {
+			return s.cfg.Synthetic.Name
+		}
+		return "synthetic"
+	}
+	return s.cfg.Benchmark
+}
+
+// Run builds a system from the configuration and runs it; it is the
+// convenience entry point used by the experiment layer, the CLI and the
+// public facade.
+func Run(cfg config.System) (Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}
+
+// cacheConfigForTotal is a small helper used by tests to derive a per-core
+// configuration from a total capacity.
+func cacheConfigForTotal(totalBytes uint64, cores int, template cache.Config) cache.Config {
+	out := template
+	out.SizeBytes = totalBytes / uint64(cores)
+	return out
+}

@@ -1,0 +1,102 @@
+// Package core implements the paper's contribution: the coherence-safe
+// mechanism to turn off L2 cache lines in a CMP (Section III, Figure 2 and
+// Table I) and the leakage-aware private-L2 controller and CMP system that
+// the three techniques of Section IV run on.
+package core
+
+import (
+	"fmt"
+
+	"cmpleak/internal/coherence"
+)
+
+// L1Policy is the write policy of the upper-level cache, used by the
+// Table I decision logic.
+type L1Policy uint8
+
+const (
+	// WriteBack L1 (only meaningful for the uniprocessor column of Table I;
+	// the CMP in this study uses write-through L1s to ease inclusion).
+	WriteBack L1Policy = iota
+	// WriteThrough L1, the configuration the paper evaluates.
+	WriteThrough
+)
+
+// String names the policy.
+func (p L1Policy) String() string {
+	switch p {
+	case WriteBack:
+		return "write-back"
+	case WriteThrough:
+		return "write-through"
+	default:
+		return fmt.Sprintf("L1Policy(%d)", uint8(p))
+	}
+}
+
+// Action is what must happen to turn off an L2 line safely, per Table I.
+type Action struct {
+	// CanTurnOff reports whether the line may be switched off now.
+	CanTurnOff bool
+	// MustWriteBack requires pushing the block to memory first.
+	MustWriteBack bool
+	// MustInvalidateUpper requires invalidating the L1 copy first
+	// (inclusion maintenance).
+	MustInvalidateUpper bool
+	// WaitReason is set when CanTurnOff is false.
+	WaitReason string
+}
+
+// Decision implements Table I: given the system kind (multiprocessor with
+// private L2s or not), the L1 write policy, whether the L2 line is dirty,
+// and whether the L1 write buffer holds a pending write to the block, it
+// returns the actions required to turn the line off.
+func Decision(multiprocessor bool, policy L1Policy, l2Dirty, pendingWrite bool) Action {
+	if !multiprocessor {
+		// Single processor (or shared L2) column.
+		if policy == WriteBack {
+			if l2Dirty {
+				return Action{CanTurnOff: true, MustWriteBack: true}
+			}
+			return Action{CanTurnOff: true}
+		}
+		// Write-through L1.
+		if pendingWrite {
+			return Action{WaitReason: "pending write in the L1 write buffer"}
+		}
+		if l2Dirty {
+			return Action{CanTurnOff: true, MustWriteBack: true}
+		}
+		return Action{CanTurnOff: true}
+	}
+	// Multiprocessor with private L2 (the paper's system): the L1 is
+	// write-through.
+	if l2Dirty {
+		// Dirty line: turn off, but the upper level must be invalidated
+		// (and the newest copy written back) to preserve inclusion.
+		return Action{CanTurnOff: true, MustWriteBack: true, MustInvalidateUpper: true}
+	}
+	if pendingWrite {
+		return Action{WaitReason: "pending write in the L1 write buffer"}
+	}
+	return Action{CanTurnOff: true}
+}
+
+// DecisionForState maps a MESI state onto the Table I decision for the
+// multiprocessor / write-through configuration used in this study.
+// Transient states may not start a turn-off (Figure 2: the turn-off signal
+// only triggers from a stationary state).
+func DecisionForState(st coherence.State, pendingWrite bool) Action {
+	switch st {
+	case coherence.Invalid:
+		return Action{WaitReason: "line is already invalid"}
+	case coherence.TransientClean, coherence.TransientDirty:
+		return Action{WaitReason: "line is in a transient state"}
+	case coherence.Modified:
+		return Decision(true, WriteThrough, true, pendingWrite)
+	case coherence.Shared, coherence.Exclusive:
+		return Decision(true, WriteThrough, false, pendingWrite)
+	default:
+		return Action{WaitReason: fmt.Sprintf("unknown state %v", st)}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"cmpleak/internal/coherence"
+)
+
+// TestTableI reproduces Table I of the paper: for each system kind, L1
+// policy and L2 line state, the decision logic must prescribe exactly the
+// actions the table lists.
+func TestTableI(t *testing.T) {
+	cases := []struct {
+		name          string
+		multi         bool
+		policy        L1Policy
+		dirty         bool
+		pending       bool
+		canTurnOff    bool
+		writeBack     bool
+		invalidateUpp bool
+	}{
+		// Single processor (or shared L2), write-back L1.
+		{"uni/WB/clean", false, WriteBack, false, false, true, false, false},
+		{"uni/WB/dirty", false, WriteBack, true, false, true, true, false},
+		// Single processor, write-through L1.
+		{"uni/WT/clean", false, WriteThrough, false, false, true, false, false},
+		{"uni/WT/clean/pending", false, WriteThrough, false, true, false, false, false},
+		{"uni/WT/dirty", false, WriteThrough, true, false, true, true, false},
+		// Multiprocessor with private L2, write-through L1 (the paper's
+		// system).
+		{"mp/WT/clean", true, WriteThrough, false, false, true, false, false},
+		{"mp/WT/clean/pending", true, WriteThrough, false, true, false, false, false},
+		{"mp/WT/dirty", true, WriteThrough, true, false, true, true, true},
+	}
+	for _, c := range cases {
+		got := Decision(c.multi, c.policy, c.dirty, c.pending)
+		if got.CanTurnOff != c.canTurnOff || got.MustWriteBack != c.writeBack ||
+			got.MustInvalidateUpper != c.invalidateUpp {
+			t.Errorf("%s: got %+v, want turnOff=%v writeBack=%v invUpper=%v",
+				c.name, got, c.canTurnOff, c.writeBack, c.invalidateUpp)
+		}
+		if !got.CanTurnOff && got.WaitReason == "" {
+			t.Errorf("%s: blocked decision must carry a reason", c.name)
+		}
+	}
+}
+
+func TestL1PolicyString(t *testing.T) {
+	if WriteBack.String() != "write-back" || WriteThrough.String() != "write-through" {
+		t.Fatal("policy names wrong")
+	}
+	if L1Policy(9).String() == "" {
+		t.Fatal("unknown policy should render")
+	}
+}
+
+func TestDecisionForState(t *testing.T) {
+	// Figure 2: only stationary states may start a turn-off.
+	if DecisionForState(coherence.Invalid, false).CanTurnOff {
+		t.Fatal("invalid lines cannot be turned off again")
+	}
+	if DecisionForState(coherence.TransientClean, false).CanTurnOff ||
+		DecisionForState(coherence.TransientDirty, false).CanTurnOff {
+		t.Fatal("transient lines must wait for a stationary state")
+	}
+	m := DecisionForState(coherence.Modified, false)
+	if !m.CanTurnOff || !m.MustWriteBack || !m.MustInvalidateUpper {
+		t.Fatalf("Modified turn-off decision wrong: %+v", m)
+	}
+	for _, st := range []coherence.State{coherence.Shared, coherence.Exclusive} {
+		d := DecisionForState(st, false)
+		if !d.CanTurnOff || d.MustWriteBack || d.MustInvalidateUpper {
+			t.Fatalf("%v turn-off decision wrong: %+v", st, d)
+		}
+		if DecisionForState(st, true).CanTurnOff {
+			t.Fatalf("%v with a pending write must defer", st)
+		}
+	}
+	if DecisionForState(coherence.State(99), false).CanTurnOff {
+		t.Fatal("unknown state must not be turned off")
+	}
+}

@@ -1,0 +1,150 @@
+package decay
+
+import (
+	"cmpleak/internal/cache"
+	"cmpleak/internal/coherence"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/stats"
+)
+
+// AdaptiveMode is an extension inspired by Zhou et al.'s Adaptive Mode
+// Control (related work, Section II): a single global decay interval is kept
+// for the whole cache, but it is periodically adjusted from a sampled miss
+// rate.  If misses in the sampling window exceed the target, decay becomes
+// less aggressive (interval doubles, bounded); if they fall well below the
+// target, it becomes more aggressive (interval halves, bounded).
+//
+// The paper itself evaluates only fixed decay intervals; AdaptiveMode exists
+// in this reproduction for the ablation benches called out in DESIGN.md.
+type AdaptiveMode struct {
+	initialCycles sim.Cycle
+	minCycles     sim.Cycle
+	maxCycles     sim.Cycle
+	// TargetMissesPerWindow is the sampling threshold.
+	TargetMissesPerWindow uint64
+	// SampleWindows is how many global ticks form one adaptation window.
+	SampleWindows uint64
+
+	// Adaptations counts interval changes (across all controllers).
+	Adaptations stats.Counter
+	// TurnOffRequests counts decay-induced turn-off requests.
+	TurnOffRequests stats.Counter
+}
+
+// NewAdaptiveMode builds the technique with the given initial interval.
+func NewAdaptiveMode(initial sim.Cycle) *AdaptiveMode {
+	return &AdaptiveMode{
+		initialCycles:         initial,
+		minCycles:             initial / 8,
+		maxCycles:             initial * 8,
+		TargetMissesPerWindow: 64,
+		SampleWindows:         4,
+	}
+}
+
+// Name implements Technique.
+func (d *AdaptiveMode) Name() string {
+	return "adaptive" + cyclesLabel(d.initialCycles)
+}
+
+// perControllerState carries the adaptation state for one cache.
+type amcState struct {
+	interval    sim.Cycle
+	ticksInWin  uint64
+	missesAtWin uint64
+}
+
+// Start launches an independently adapting scanner per controller.
+func (d *AdaptiveMode) Start(eng *sim.Engine, ctrl Controller) {
+	st := &amcState{interval: d.initialCycles, missesAtWin: ctrl.Array().Misses.Value()}
+	if st.interval < 4 {
+		st.interval = 4
+	}
+	var schedule func()
+	schedule = func() {
+		eng.Schedule(st.interval/counterLevels, func() {
+			d.tick(ctrl, st)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+func (d *AdaptiveMode) tick(ctrl Controller, st *amcState) {
+	arr := ctrl.Array()
+	var toTurnOff [][2]int
+	arr.ForEachValid(func(set, way int, ln *cache.Line) {
+		if !ln.Powered || !ln.DecayArmed {
+			return
+		}
+		if !ctrl.LineState(set, way).Stable() {
+			return
+		}
+		if ln.DecayCounter < counterLevels {
+			ln.DecayCounter++
+		}
+		if ln.DecayCounter >= counterLevels {
+			toTurnOff = append(toTurnOff, [2]int{set, way})
+		}
+	})
+	for _, sw := range toTurnOff {
+		d.TurnOffRequests.Inc()
+		ctrl.RequestTurnOff(sw[0], sw[1])
+	}
+
+	st.ticksInWin++
+	if st.ticksInWin < d.SampleWindows*counterLevels {
+		return
+	}
+	st.ticksInWin = 0
+	misses := arr.Misses.Value()
+	windowMisses := misses - st.missesAtWin
+	st.missesAtWin = misses
+	switch {
+	case windowMisses > d.TargetMissesPerWindow && st.interval < d.maxCycles:
+		st.interval *= 2
+		d.Adaptations.Inc()
+	case windowMisses < d.TargetMissesPerWindow/2 && st.interval > d.minCycles:
+		st.interval /= 2
+		if st.interval < 4 {
+			st.interval = 4
+		}
+		d.Adaptations.Inc()
+	}
+}
+
+// OnFill arms the line.
+func (d *AdaptiveMode) OnFill(ctrl Controller, set, way int, _ coherence.State) {
+	ln := ctrl.Array().Line(set, way)
+	ln.DecayCounter = 0
+	ln.DecayArmed = true
+}
+
+// OnHit resets the counter.
+func (d *AdaptiveMode) OnHit(ctrl Controller, set, way int, _ coherence.State) {
+	ctrl.Array().Line(set, way).DecayCounter = 0
+}
+
+// OnStateChange keeps the line armed.
+func (d *AdaptiveMode) OnStateChange(ctrl Controller, set, way int, _, _ coherence.State) {
+	ln := ctrl.Array().Line(set, way)
+	ln.DecayArmed = true
+	ln.DecayCounter = 0
+}
+
+// OnProtocolInvalidate gates the line.
+func (d *AdaptiveMode) OnProtocolInvalidate(ctrl Controller, set, way int) {
+	ctrl.Array().PowerOff(set, way, ctrl.Now())
+}
+
+// OnTurnedOff implements Technique.
+func (d *AdaptiveMode) OnTurnedOff(Controller, int, int) {}
+
+// ExtraAccessLatency implements Technique.
+func (d *AdaptiveMode) ExtraAccessLatency() sim.Cycle { return 1 }
+
+// HasDecayCounters implements Technique.
+func (d *AdaptiveMode) HasDecayCounters() bool { return true }
+
+// AreaOverhead implements Technique.
+func (d *AdaptiveMode) AreaOverhead() float64 { return 0.05 }

@@ -1,0 +1,48 @@
+package decay
+
+import (
+	"cmpleak/internal/coherence"
+	"cmpleak/internal/sim"
+)
+
+// AlwaysOn is the unoptimised baseline: every line of every L2 is powered
+// from cycle zero to the end of the run, so the occupation rate is 100% and
+// no performance effect exists.  All other techniques are reported relative
+// to this one.
+type AlwaysOn struct{}
+
+// NewAlwaysOn returns the baseline technique.
+func NewAlwaysOn() *AlwaysOn { return &AlwaysOn{} }
+
+// Name implements Technique.
+func (*AlwaysOn) Name() string { return "baseline" }
+
+// Start powers the whole array.
+func (*AlwaysOn) Start(eng *sim.Engine, ctrl Controller) {
+	ctrl.Array().PowerOnAll(eng.Now())
+}
+
+// OnFill implements Technique; the line is already powered.
+func (*AlwaysOn) OnFill(Controller, int, int, coherence.State) {}
+
+// OnHit implements Technique.
+func (*AlwaysOn) OnHit(Controller, int, int, coherence.State) {}
+
+// OnStateChange implements Technique.
+func (*AlwaysOn) OnStateChange(Controller, int, int, coherence.State, coherence.State) {}
+
+// OnProtocolInvalidate implements Technique; invalidated lines keep leaking
+// in the baseline.
+func (*AlwaysOn) OnProtocolInvalidate(Controller, int, int) {}
+
+// OnTurnedOff implements Technique; the baseline never requests turn-offs.
+func (*AlwaysOn) OnTurnedOff(Controller, int, int) {}
+
+// ExtraAccessLatency implements Technique.
+func (*AlwaysOn) ExtraAccessLatency() sim.Cycle { return 0 }
+
+// HasDecayCounters implements Technique.
+func (*AlwaysOn) HasDecayCounters() bool { return false }
+
+// AreaOverhead implements Technique; no gating circuitry is added.
+func (*AlwaysOn) AreaOverhead() float64 { return 0 }

@@ -1,0 +1,126 @@
+package decay
+
+import (
+	"cmpleak/internal/cache"
+	"cmpleak/internal/coherence"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/stats"
+)
+
+// counterLevels is the saturation value of the per-line hierarchical decay
+// counter.  The paper follows Kaxiras et al.: a small (2-bit) counter per
+// line incremented by a cache-wide global tick, so that a line is turned off
+// after between (levels-1) and levels global ticks without an access.
+const counterLevels = 4
+
+// FixedDecay is the paper's second technique: a fixed decay interval applied
+// to every line of the private L2, implemented with hierarchical counters on
+// top of the coherence-safe turn-off primitive.  A line is turned off either
+// because the protocol invalidates it or because its decay counter saturates.
+type FixedDecay struct {
+	decayCycles sim.Cycle
+
+	// TurnOffRequests counts decay-induced turn-off requests across all
+	// controllers using this technique instance.
+	TurnOffRequests stats.Counter
+	// TicksRun counts global counter ticks.
+	TicksRun stats.Counter
+}
+
+// NewFixedDecay builds a fixed-interval decay technique.
+func NewFixedDecay(decayCycles sim.Cycle) *FixedDecay {
+	return &FixedDecay{decayCycles: decayCycles}
+}
+
+// Name implements Technique ("decay512K" style labels).
+func (d *FixedDecay) Name() string {
+	return "decay" + cyclesLabel(d.decayCycles)
+}
+
+// DecayCycles returns the configured decay interval.
+func (d *FixedDecay) DecayCycles() sim.Cycle { return d.decayCycles }
+
+// globalTickPeriod returns the period of the cache-wide tick that advances
+// the per-line counters.
+func (d *FixedDecay) globalTickPeriod() sim.Cycle {
+	p := d.decayCycles / counterLevels
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// Start launches the global-tick scanner for one controller.
+func (d *FixedDecay) Start(eng *sim.Engine, ctrl Controller) {
+	sim.NewTicker(eng, d.globalTickPeriod(), func(now sim.Cycle) bool {
+		d.TicksRun.Inc()
+		d.tick(ctrl, now)
+		return true
+	})
+}
+
+// tick advances every armed line's counter and requests turn-off for
+// saturated ones.  Transient lines are skipped: the turn-off signal may only
+// start from a stationary state (Figure 2), so they will be considered again
+// on the next tick.
+func (d *FixedDecay) tick(ctrl Controller, now sim.Cycle) {
+	arr := ctrl.Array()
+	var toTurnOff [][2]int
+	arr.ForEachValid(func(set, way int, ln *cache.Line) {
+		if !ln.Powered || !ln.DecayArmed {
+			return
+		}
+		if !ctrl.LineState(set, way).Stable() {
+			return
+		}
+		if ln.DecayCounter < counterLevels {
+			ln.DecayCounter++
+		}
+		if ln.DecayCounter >= counterLevels {
+			toTurnOff = append(toTurnOff, [2]int{set, way})
+		}
+	})
+	for _, sw := range toTurnOff {
+		d.TurnOffRequests.Inc()
+		ctrl.RequestTurnOff(sw[0], sw[1])
+	}
+	_ = now
+}
+
+// OnFill arms the line and resets its counter.
+func (d *FixedDecay) OnFill(ctrl Controller, set, way int, _ coherence.State) {
+	ln := ctrl.Array().Line(set, way)
+	ln.DecayCounter = 0
+	ln.DecayArmed = true
+}
+
+// OnHit resets the counter (the line proved itself alive).
+func (d *FixedDecay) OnHit(ctrl Controller, set, way int, _ coherence.State) {
+	ctrl.Array().Line(set, way).DecayCounter = 0
+}
+
+// OnStateChange keeps the line armed regardless of the new state.
+func (d *FixedDecay) OnStateChange(ctrl Controller, set, way int, _, _ coherence.State) {
+	ln := ctrl.Array().Line(set, way)
+	ln.DecayArmed = true
+	ln.DecayCounter = 0
+}
+
+// OnProtocolInvalidate gates the line, exactly as the Protocol technique
+// does: decay subsumes protocol turn-off.
+func (d *FixedDecay) OnProtocolInvalidate(ctrl Controller, set, way int) {
+	ctrl.Array().PowerOff(set, way, ctrl.Now())
+}
+
+// OnTurnedOff implements Technique.
+func (d *FixedDecay) OnTurnedOff(Controller, int, int) {}
+
+// ExtraAccessLatency implements Technique: the paper charges one cycle for
+// decay circuitry.
+func (d *FixedDecay) ExtraAccessLatency() sim.Cycle { return 1 }
+
+// HasDecayCounters implements Technique.
+func (d *FixedDecay) HasDecayCounters() bool { return true }
+
+// AreaOverhead implements Technique: Gated-Vdd adds 5% area.
+func (d *FixedDecay) AreaOverhead() float64 { return 0.05 }

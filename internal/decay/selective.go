@@ -1,0 +1,137 @@
+package decay
+
+import (
+	"cmpleak/internal/cache"
+	"cmpleak/internal/coherence"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/stats"
+)
+
+// SelectiveDecay is the paper's third technique (SD): decay is armed only on
+// the transitions that lead to a Shared or Exclusive state.  Lines that
+// become Modified are never allowed to decay, because turning off a Modified
+// line forces an invalidation of the upper level (and a write-back), which
+// directly hurts L1 performance.  By arming decay only on the selected
+// transitions, the probability that a decaying line is Modified is
+// minimised, trading some leakage saving for performance.
+type SelectiveDecay struct {
+	decayCycles sim.Cycle
+
+	// TurnOffRequests counts decay-induced turn-off requests.
+	TurnOffRequests stats.Counter
+	// ArmedTransitions counts transitions that armed decay.
+	ArmedTransitions stats.Counter
+	// DisarmedTransitions counts transitions into Modified that disarmed it.
+	DisarmedTransitions stats.Counter
+}
+
+// NewSelectiveDecay builds the SD technique with the given decay interval.
+func NewSelectiveDecay(decayCycles sim.Cycle) *SelectiveDecay {
+	return &SelectiveDecay{decayCycles: decayCycles}
+}
+
+// Name implements Technique ("sel_decay512K" style labels).
+func (d *SelectiveDecay) Name() string {
+	return "sel_decay" + cyclesLabel(d.decayCycles)
+}
+
+// DecayCycles returns the configured decay interval.
+func (d *SelectiveDecay) DecayCycles() sim.Cycle { return d.decayCycles }
+
+func (d *SelectiveDecay) globalTickPeriod() sim.Cycle {
+	p := d.decayCycles / counterLevels
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// Start launches the global-tick scanner for one controller.
+func (d *SelectiveDecay) Start(eng *sim.Engine, ctrl Controller) {
+	sim.NewTicker(eng, d.globalTickPeriod(), func(now sim.Cycle) bool {
+		d.tick(ctrl, now)
+		return true
+	})
+}
+
+func (d *SelectiveDecay) tick(ctrl Controller, now sim.Cycle) {
+	arr := ctrl.Array()
+	var toTurnOff [][2]int
+	arr.ForEachValid(func(set, way int, ln *cache.Line) {
+		if !ln.Powered || !ln.DecayArmed {
+			return
+		}
+		st := ctrl.LineState(set, way)
+		if !st.Stable() {
+			return
+		}
+		// Defensive: even if a line became Modified without the hook
+		// firing, never decay a Modified line under SD.
+		if st == coherence.Modified {
+			return
+		}
+		if ln.DecayCounter < counterLevels {
+			ln.DecayCounter++
+		}
+		if ln.DecayCounter >= counterLevels {
+			toTurnOff = append(toTurnOff, [2]int{set, way})
+		}
+	})
+	for _, sw := range toTurnOff {
+		d.TurnOffRequests.Inc()
+		ctrl.RequestTurnOff(sw[0], sw[1])
+	}
+	_ = now
+}
+
+// arm configures the decay metadata for a transition into state st.
+func (d *SelectiveDecay) arm(ctrl Controller, set, way int, st coherence.State) {
+	ln := ctrl.Array().Line(set, way)
+	ln.DecayCounter = 0
+	switch st {
+	case coherence.Shared, coherence.Exclusive:
+		if !ln.DecayArmed {
+			d.ArmedTransitions.Inc()
+		}
+		ln.DecayArmed = true
+	case coherence.Modified:
+		if ln.DecayArmed {
+			d.DisarmedTransitions.Inc()
+		}
+		ln.DecayArmed = false
+	default:
+		ln.DecayArmed = false
+	}
+}
+
+// OnFill arms decay only when the fill state is Shared or Exclusive.
+func (d *SelectiveDecay) OnFill(ctrl Controller, set, way int, st coherence.State) {
+	d.arm(ctrl, set, way, st)
+}
+
+// OnHit resets the counter.
+func (d *SelectiveDecay) OnHit(ctrl Controller, set, way int, _ coherence.State) {
+	ctrl.Array().Line(set, way).DecayCounter = 0
+}
+
+// OnStateChange re-evaluates arming for the new state.
+func (d *SelectiveDecay) OnStateChange(ctrl Controller, set, way int, _, newState coherence.State) {
+	d.arm(ctrl, set, way, newState)
+}
+
+// OnProtocolInvalidate gates the line (protocol turn-off is free).
+func (d *SelectiveDecay) OnProtocolInvalidate(ctrl Controller, set, way int) {
+	ctrl.Array().PowerOff(set, way, ctrl.Now())
+}
+
+// OnTurnedOff implements Technique.
+func (d *SelectiveDecay) OnTurnedOff(Controller, int, int) {}
+
+// ExtraAccessLatency implements Technique.
+func (d *SelectiveDecay) ExtraAccessLatency() sim.Cycle { return 1 }
+
+// HasDecayCounters implements Technique.
+func (d *SelectiveDecay) HasDecayCounters() bool { return true }
+
+// AreaOverhead implements Technique.
+func (d *SelectiveDecay) AreaOverhead() float64 { return 0.05 }

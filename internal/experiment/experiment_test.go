@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"cmpleak/internal/decay"
+)
+
+// tinyOptions returns a sweep small enough for unit tests: two benchmarks,
+// two cache sizes, three techniques, heavily scaled-down workloads with
+// decay times short enough to fire within the short runs.
+func tinyOptions() Options {
+	opts := DefaultOptions(0.04)
+	opts.Benchmarks = []string{"WATER-NS", "mpeg2dec"}
+	opts.CacheSizesMB = []int{1, 2}
+	opts.Techniques = []decay.Spec{
+		{Kind: decay.KindProtocol},
+		{Kind: decay.KindDecay, DecayCycles: 8 * 1024},
+		{Kind: decay.KindSelectiveDecay, DecayCycles: 8 * 1024},
+	}
+	opts.Seed = 7
+	return opts
+}
+
+// runTiny runs the tiny sweep once per test binary invocation.
+var tinySweep *Sweep
+
+func getTinySweep(t *testing.T) *Sweep {
+	t.Helper()
+	if tinySweep != nil {
+		return tinySweep
+	}
+	s, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	tinySweep = s
+	return s
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if err := DefaultOptions(0.1).Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := DefaultOptions(0.1)
+	bad.Scale = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero scale accepted")
+	}
+	bad = DefaultOptions(0.1)
+	bad.Benchmarks = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty benchmark list accepted")
+	}
+	bad = DefaultOptions(0.1)
+	bad.CacheSizesMB = []int{0}
+	if bad.Validate() == nil {
+		t.Fatal("zero cache size accepted")
+	}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("Run accepted invalid options")
+	}
+}
+
+func TestDefaultOptionsMatchPaperMatrix(t *testing.T) {
+	opts := DefaultOptions(1)
+	if len(opts.Benchmarks) != 6 || len(opts.CacheSizesMB) != 4 || len(opts.Techniques) != 7 {
+		t.Fatalf("paper matrix is 6 benchmarks x 4 sizes x 7 techniques, got %dx%dx%d",
+			len(opts.Benchmarks), len(opts.CacheSizesMB), len(opts.Techniques))
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Benchmark: "FMM", SizeMB: 4, Technique: "decay512K"}
+	if k.String() != "FMM/4MB/decay512K" {
+		t.Fatalf("key string %q", k.String())
+	}
+}
+
+func TestSweepContainsAllRuns(t *testing.T) {
+	s := getTinySweep(t)
+	opts := s.Options
+	wantRuns := len(opts.Benchmarks) * len(opts.CacheSizesMB) * (len(opts.Techniques) + 1)
+	if len(s.Keys()) != wantRuns {
+		t.Fatalf("sweep has %d runs, want %d", len(s.Keys()), wantRuns)
+	}
+	for _, bench := range opts.Benchmarks {
+		for _, mb := range opts.CacheSizesMB {
+			if _, ok := s.Baseline(bench, mb); !ok {
+				t.Errorf("baseline missing for %s %dMB", bench, mb)
+			}
+			for _, spec := range opts.Techniques {
+				if _, ok := s.Result(bench, mb, spec.Name()); !ok {
+					t.Errorf("run missing for %s %dMB %s", bench, mb, spec.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestSweepBaselineProperties(t *testing.T) {
+	s := getTinySweep(t)
+	for _, bench := range s.Options.Benchmarks {
+		for _, mb := range s.Options.CacheSizesMB {
+			base, _ := s.Baseline(bench, mb)
+			if base.L2OccupationRate < 0.999 {
+				t.Errorf("%s %dMB: baseline occupation %v, want 1.0", bench, mb, base.L2OccupationRate)
+			}
+			if base.EnergyJ <= 0 || base.IPC <= 0 {
+				t.Errorf("%s %dMB: baseline energy/IPC empty", bench, mb)
+			}
+		}
+	}
+}
+
+func TestSweepCompare(t *testing.T) {
+	s := getTinySweep(t)
+	cmp, ok := s.Compare("WATER-NS", 1, "protocol")
+	if !ok {
+		t.Fatal("comparison missing")
+	}
+	if cmp.OccupationRate <= 0 || cmp.OccupationRate >= 1 {
+		t.Fatalf("protocol occupation %v should be in (0,1)", cmp.OccupationRate)
+	}
+	if cmp.EnergyReduction <= 0 {
+		t.Fatalf("protocol should save energy, got %v", cmp.EnergyReduction)
+	}
+	if cmp.IPCLoss > 0.02 || cmp.IPCLoss < -0.02 {
+		t.Fatalf("protocol IPC loss should be ~0, got %v", cmp.IPCLoss)
+	}
+	if _, ok := s.Compare("nope", 1, "protocol"); ok {
+		t.Fatal("comparison for unknown benchmark should fail")
+	}
+}
+
+func TestSweepOrderingAcrossTechniques(t *testing.T) {
+	s := getTinySweep(t)
+	// Occupation: decay < sel_decay < protocol < 1.0, averaged over
+	// benchmarks at the smaller size.
+	occ := func(tech string) float64 {
+		v, ok := s.averageOverBenchmarks(1, tech, metricOccupation)
+		if !ok {
+			t.Fatalf("missing average for %s", tech)
+		}
+		return v
+	}
+	if !(occ("decay8K") < occ("sel_decay8K") && occ("sel_decay8K") < occ("protocol") && occ("protocol") < 1.0) {
+		t.Fatalf("occupation ordering violated: decay=%v sel=%v protocol=%v",
+			occ("decay8K"), occ("sel_decay8K"), occ("protocol"))
+	}
+	// Bandwidth increase: protocol ~0, decay >= sel_decay.
+	bw := func(tech string) float64 {
+		v, _ := s.averageOverBenchmarks(1, tech, metricBandwidthIncrease)
+		return v
+	}
+	if bw("protocol") > 0.01 {
+		t.Fatalf("protocol bandwidth increase %v, want ~0", bw("protocol"))
+	}
+	if bw("decay8K") < bw("sel_decay8K") {
+		t.Fatalf("decay should need at least as much extra bandwidth as selective decay (%v vs %v)",
+			bw("decay8K"), bw("sel_decay8K"))
+	}
+	// IPC loss: protocol <= sel_decay <= decay.
+	ipc := func(tech string) float64 {
+		v, _ := s.averageOverBenchmarks(1, tech, metricIPCLoss)
+		return v
+	}
+	if !(ipc("protocol") <= ipc("sel_decay8K")+0.01 && ipc("sel_decay8K") <= ipc("decay8K")+0.01) {
+		t.Fatalf("IPC loss ordering violated: protocol=%v sel=%v decay=%v",
+			ipc("protocol"), ipc("sel_decay8K"), ipc("decay8K"))
+	}
+}
+
+func TestFiguresShape(t *testing.T) {
+	s := getTinySweep(t)
+	figs := s.AllFigures()
+	if len(figs) != 8 {
+		t.Fatalf("the paper has 8 result panels, got %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Rows) != len(s.Options.Techniques) {
+			t.Errorf("%s: %d rows, want one per technique (%d)", f.Title, len(f.Rows), len(s.Options.Techniques))
+		}
+		for _, r := range f.Rows {
+			if len(r.Values) != len(f.Columns) {
+				t.Errorf("%s row %s: %d values for %d columns", f.Title, r.Label, len(r.Values), len(f.Columns))
+			}
+		}
+		if f.Markdown() == "" || f.CSV() == "" {
+			t.Errorf("%s: empty rendering", f.Title)
+		}
+	}
+	// Figure 3-5 columns are cache sizes; Figure 6 columns are benchmarks.
+	if figs[0].Columns[0] != "1MB" {
+		t.Errorf("figure 3a columns %v", figs[0].Columns)
+	}
+	if figs[6].Columns[0] != s.Options.Benchmarks[0] {
+		t.Errorf("figure 6a columns %v", figs[6].Columns)
+	}
+}
+
+func TestFigure3aValues(t *testing.T) {
+	s := getTinySweep(t)
+	fig := s.Figure3a()
+	for _, r := range fig.Rows {
+		for i, v := range r.Values {
+			if v <= 0 || v >= 1 {
+				t.Errorf("occupation %v for %s/%s outside (0,1)", v, r.Label, fig.Columns[i])
+			}
+		}
+	}
+	// Cell and Row accessors.
+	if _, ok := fig.Cell("protocol", "1MB"); !ok {
+		t.Fatal("Cell lookup failed")
+	}
+	if _, ok := fig.Cell("protocol", "64MB"); ok {
+		t.Fatal("Cell lookup for absent column should fail")
+	}
+	if _, ok := fig.Row("nope"); ok {
+		t.Fatal("Row lookup for absent series should fail")
+	}
+}
+
+func TestProtocolEnergySavingGrowsWithCacheSize(t *testing.T) {
+	s := getTinySweep(t)
+	small, _ := s.averageOverBenchmarks(1, "protocol", metricEnergyReduction)
+	large, _ := s.averageOverBenchmarks(2, "protocol", metricEnergyReduction)
+	if large <= small {
+		t.Fatalf("protocol energy saving should grow with cache size: 1MB=%v 2MB=%v", small, large)
+	}
+}
+
+func TestHeadlineAndReport(t *testing.T) {
+	s := getTinySweep(t)
+	h := s.HeadlineAt(1)
+	if len(h.Techniques) != 3 {
+		t.Fatalf("headline should cover protocol, decay and sel_decay, got %v", h.Techniques)
+	}
+	if h.Techniques[0] != "protocol" || !strings.HasPrefix(h.Techniques[1], "decay") ||
+		!strings.HasPrefix(h.Techniques[2], "sel_decay") {
+		t.Fatalf("headline technique order wrong: %v", h.Techniques)
+	}
+	if h.String() == "" {
+		t.Fatal("empty headline rendering")
+	}
+	rep := s.Report()
+	if !strings.Contains(rep, "Figure 5a") || !strings.Contains(rep, "Figure 6b") {
+		t.Fatal("report missing figures")
+	}
+}
+
+func TestIPCLossByClass(t *testing.T) {
+	s := getTinySweep(t)
+	cs := s.IPCLossByClass(1, "decay8K")
+	if cs.Technique != "decay8K" || cs.SizeMB != 1 {
+		t.Fatal("class summary metadata wrong")
+	}
+	// Both classes are present in the tiny sweep (WATER-NS scientific,
+	// mpeg2dec multimedia), so both averages must be populated (possibly
+	// small but computed).
+	if cs.Scientific == 0 && cs.Multimedia == 0 {
+		t.Fatal("class summary did not aggregate anything")
+	}
+}
+
+func TestTechniqueNamesOrder(t *testing.T) {
+	s := getTinySweep(t)
+	names := s.TechniqueNames()
+	if len(names) != 3 || names[0] != "protocol" {
+		t.Fatalf("technique names %v", names)
+	}
+}

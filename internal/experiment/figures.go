@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpleak/internal/core"
+)
+
+// Table is a reconstructed figure: one row per series (technique
+// configuration) and one column per group (cache size for Figures 3-5,
+// benchmark for Figure 6), exactly mirroring the bar groups of the paper.
+type Table struct {
+	// Title identifies the figure ("Figure 3a — L2 occupation rate").
+	Title string
+	// Unit describes the cell values ("fraction", "percent", ...).
+	Unit string
+	// Columns are the group labels ("1MB", "2MB", ... or benchmark names).
+	Columns []string
+	// Rows are the series, one per technique configuration.
+	Rows []TableRow
+}
+
+// TableRow is one series of a Table.
+type TableRow struct {
+	Label  string
+	Values []float64
+}
+
+// Cell returns the value at (rowLabel, column); ok is false when absent.
+func (t Table) Cell(rowLabel, column string) (float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && col < len(r.Values) {
+			return r.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// Row returns the series with the given label.
+func (t Table) Row(label string) (TableRow, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return TableRow{}, false
+}
+
+// Markdown renders the table as a GitHub-style markdown table with
+// percentage formatting.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	fmt.Fprintf(&b, "| config | %s |\n", strings.Join(t.Columns, " | "))
+	fmt.Fprintf(&b, "|---|%s\n", strings.Repeat("---|", len(t.Columns)))
+	for _, r := range t.Rows {
+		cells := make([]string, len(r.Values))
+		for i, v := range r.Values {
+			cells[i] = fmt.Sprintf("%.1f%%", v*100)
+		}
+		fmt.Fprintf(&b, "| %s | %s |\n", r.Label, strings.Join(cells, " | "))
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (raw fractions).
+func (t Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config,%s\n", strings.Join(t.Columns, ","))
+	for _, r := range t.Rows {
+		cells := make([]string, len(r.Values))
+		for i, v := range r.Values {
+			cells[i] = fmt.Sprintf("%.6f", v)
+		}
+		fmt.Fprintf(&b, "%s,%s\n", r.Label, strings.Join(cells, ","))
+	}
+	return b.String()
+}
+
+// bySizeFigure builds a Figure 3-5 style table: columns are cache sizes,
+// rows are technique configurations, values are the benchmark-average of the
+// metric.
+func (s *Sweep) bySizeFigure(title, unit string, metric func(r, b core.Result) float64) Table {
+	t := Table{Title: title, Unit: unit}
+	for _, mb := range s.Options.CacheSizesMB {
+		t.Columns = append(t.Columns, fmt.Sprintf("%dMB", mb))
+	}
+	for _, tech := range s.TechniqueNames() {
+		row := TableRow{Label: tech}
+		for _, mb := range s.Options.CacheSizesMB {
+			v, _ := s.averageOverBenchmarks(mb, tech, metric)
+			row.Values = append(row.Values, v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// byBenchmarkFigure builds a Figure 6 style table at a fixed cache size:
+// columns are benchmarks, rows are technique configurations.
+func (s *Sweep) byBenchmarkFigure(title, unit string, sizeMB int, metric func(r, b core.Result) float64) Table {
+	t := Table{Title: title, Unit: unit, Columns: append([]string(nil), s.Options.Benchmarks...)}
+	for _, tech := range s.TechniqueNames() {
+		row := TableRow{Label: tech}
+		for _, bench := range s.Options.Benchmarks {
+			r, ok1 := s.Result(bench, sizeMB, tech)
+			b, ok2 := s.Baseline(bench, sizeMB)
+			v := 0.0
+			if ok1 && ok2 {
+				v = metric(r, b)
+			}
+			row.Values = append(row.Values, v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Metric functions shared by the figures.
+
+func metricOccupation(r, _ core.Result) float64 { return r.L2OccupationRate }
+
+func metricMissRate(r, _ core.Result) float64 { return r.L2MissRate }
+
+func metricBandwidthIncrease(r, b core.Result) float64 {
+	return core.Compare(r, b).BandwidthIncrease
+}
+
+func metricAMATIncrease(r, b core.Result) float64 {
+	return core.Compare(r, b).AMATIncrease
+}
+
+func metricEnergyReduction(r, b core.Result) float64 {
+	return core.Compare(r, b).EnergyReduction
+}
+
+func metricIPCLoss(r, b core.Result) float64 {
+	return core.Compare(r, b).IPCLoss
+}
+
+// Figure3a reproduces the L2 occupation rate figure.
+func (s *Sweep) Figure3a() Table {
+	return s.bySizeFigure("Figure 3a — L2 occupation rate", "fraction", metricOccupation)
+}
+
+// Figure3b reproduces the aggregate L2 miss-rate figure.
+func (s *Sweep) Figure3b() Table {
+	return s.bySizeFigure("Figure 3b — L2 miss rate", "fraction", metricMissRate)
+}
+
+// Figure4a reproduces the memory-bandwidth-increase figure.
+func (s *Sweep) Figure4a() Table {
+	return s.bySizeFigure("Figure 4a — memory bandwidth increase", "fraction vs baseline", metricBandwidthIncrease)
+}
+
+// Figure4b reproduces the AMAT-increase figure.
+func (s *Sweep) Figure4b() Table {
+	return s.bySizeFigure("Figure 4b — AMAT increase", "fraction vs baseline", metricAMATIncrease)
+}
+
+// Figure5a reproduces the system energy-reduction figure.
+func (s *Sweep) Figure5a() Table {
+	return s.bySizeFigure("Figure 5a — energy reduction", "fraction vs baseline", metricEnergyReduction)
+}
+
+// Figure5b reproduces the IPC-loss figure.
+func (s *Sweep) Figure5b() Table {
+	return s.bySizeFigure("Figure 5b — IPC loss", "fraction vs baseline", metricIPCLoss)
+}
+
+// Figure6a reproduces the per-benchmark energy reduction at the given total
+// cache size (the paper uses 4 MB).
+func (s *Sweep) Figure6a(sizeMB int) Table {
+	return s.byBenchmarkFigure(fmt.Sprintf("Figure 6a — energy reduction per benchmark (%dMB)", sizeMB),
+		"fraction vs baseline", sizeMB, metricEnergyReduction)
+}
+
+// Figure6b reproduces the per-benchmark IPC loss at the given cache size.
+func (s *Sweep) Figure6b(sizeMB int) Table {
+	return s.byBenchmarkFigure(fmt.Sprintf("Figure 6b — IPC loss per benchmark (%dMB)", sizeMB),
+		"fraction vs baseline", sizeMB, metricIPCLoss)
+}
+
+// AllFigures returns every figure of the evaluation in paper order, using
+// 4 MB for the per-benchmark figures when available (otherwise the largest
+// swept size).
+func (s *Sweep) AllFigures() []Table {
+	fig6Size := 4
+	found := false
+	for _, mb := range s.Options.CacheSizesMB {
+		if mb == 4 {
+			found = true
+		}
+	}
+	if !found && len(s.Options.CacheSizesMB) > 0 {
+		fig6Size = s.Options.CacheSizesMB[len(s.Options.CacheSizesMB)-1]
+	}
+	return []Table{
+		s.Figure3a(), s.Figure3b(),
+		s.Figure4a(), s.Figure4b(),
+		s.Figure5a(), s.Figure5b(),
+		s.Figure6a(fig6Size), s.Figure6b(fig6Size),
+	}
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpleak/internal/workload"
+)
+
+// Headline summarises the abstract's claim for one cache size: the energy
+// reduction and IPC loss of Protocol, Decay and Selective Decay averaged
+// over all benchmarks (the paper reports 13%/30%/21% energy at 0%/8%/2% IPC
+// loss for 4 MB).
+type Headline struct {
+	SizeMB int
+	// Ordered as {Protocol, Decay, SelectiveDecay} using the largest decay
+	// time present in the sweep (the paper's headline uses the technique
+	// family, not a specific decay time; 512K is the least aggressive).
+	Techniques       []string
+	EnergyReductions []float64
+	IPCLosses        []float64
+}
+
+// HeadlineAt computes the headline comparison for one total cache size.
+func (s *Sweep) HeadlineAt(sizeMB int) Headline {
+	h := Headline{SizeMB: sizeMB}
+	pick := func(prefix string) string {
+		// Choose the first technique in configured order matching the
+		// family prefix (ties go to the least aggressive decay time, which
+		// is listed first in the paper's sweep).  "decay" must not match
+		// the "sel_decay" family.
+		for _, name := range s.TechniqueNames() {
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			if prefix == "decay" && strings.HasPrefix(name, "sel_") {
+				continue
+			}
+			return name
+		}
+		return ""
+	}
+	for _, name := range []string{pick("protocol"), pick("decay"), pick("sel_decay")} {
+		if name == "" {
+			continue
+		}
+		h.Techniques = append(h.Techniques, name)
+		e, _ := s.averageOverBenchmarks(sizeMB, name, metricEnergyReduction)
+		i, _ := s.averageOverBenchmarks(sizeMB, name, metricIPCLoss)
+		h.EnergyReductions = append(h.EnergyReductions, e)
+		h.IPCLosses = append(h.IPCLosses, i)
+	}
+	return h
+}
+
+// String renders the headline in the style of the paper's abstract.
+func (h Headline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "For %d MB total L2 cache:\n", h.SizeMB)
+	for i, tech := range h.Techniques {
+		fmt.Fprintf(&b, "  %-14s energy reduction %5.1f%%  at IPC loss %5.1f%%\n",
+			tech, h.EnergyReductions[i]*100, h.IPCLosses[i]*100)
+	}
+	return b.String()
+}
+
+// ClassSummary aggregates a metric separately over scientific and multimedia
+// benchmarks, supporting the paper's observation that decay hurts scientific
+// codes more than multimedia ones.
+type ClassSummary struct {
+	Technique  string
+	SizeMB     int
+	Scientific float64
+	Multimedia float64
+}
+
+// IPCLossByClass returns per-class average IPC loss for one technique and
+// size.
+func (s *Sweep) IPCLossByClass(sizeMB int, technique string) ClassSummary {
+	out := ClassSummary{Technique: technique, SizeMB: sizeMB}
+	var sciSum, mmSum float64
+	var sciN, mmN int
+	for _, bench := range s.Options.Benchmarks {
+		cmp, ok := s.Compare(bench, sizeMB, technique)
+		if !ok {
+			continue
+		}
+		switch workload.ClassOf(bench) {
+		case workload.Scientific:
+			sciSum += cmp.IPCLoss
+			sciN++
+		case workload.Multimedia:
+			mmSum += cmp.IPCLoss
+			mmN++
+		}
+	}
+	if sciN > 0 {
+		out.Scientific = sciSum / float64(sciN)
+	}
+	if mmN > 0 {
+		out.Multimedia = mmSum / float64(mmN)
+	}
+	return out
+}
+
+// Report renders the whole evaluation (all figures plus the headline) as
+// markdown, ready to be pasted into EXPERIMENTS.md.
+func (s *Sweep) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Reproduction sweep (scale=%.3g, seed=%d)\n\n", s.Options.Scale, s.Options.Seed)
+	for _, mb := range s.Options.CacheSizesMB {
+		b.WriteString(s.HeadlineAt(mb).String())
+		b.WriteString("\n")
+	}
+	for _, fig := range s.AllFigures() {
+		b.WriteString(fig.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeakageParams models the temperature dependence of subthreshold leakage
+// following the shape of Liao et al.: leakage current grows with the square
+// of the absolute temperature and exponentially with temperature above a
+// reference point (Vdd is held constant in this study, so the Vdd term is
+// folded into the reference power values).
+type LeakageParams struct {
+	// ReferenceTempC is the temperature at which the nominal leakage powers
+	// in Params are specified.
+	ReferenceTempC float64
+	// BetaPerC is the exponential sensitivity (per degree Celsius).  Values
+	// around 0.01-0.02 reproduce the usual "leakage doubles every ~40-70°C"
+	// behaviour of deep sub-micron processes.
+	BetaPerC float64
+	// MinTempC / MaxTempC clamp the model to its validity range.
+	MinTempC float64
+	MaxTempC float64
+}
+
+// DefaultLeakageParams returns a 70 nm-like temperature dependence with an
+// 80°C reference.
+func DefaultLeakageParams() LeakageParams {
+	return LeakageParams{
+		ReferenceTempC: 80,
+		BetaPerC:       0.014,
+		MinTempC:       25,
+		MaxTempC:       125,
+	}
+}
+
+// Validate checks the parameters.
+func (l LeakageParams) Validate() error {
+	if l.ReferenceTempC <= 0 {
+		return fmt.Errorf("power: ReferenceTempC must be positive")
+	}
+	if l.BetaPerC < 0 {
+		return fmt.Errorf("power: BetaPerC must be non-negative")
+	}
+	if l.MinTempC >= l.MaxTempC {
+		return fmt.Errorf("power: leakage temperature range is empty")
+	}
+	return nil
+}
+
+// Scale returns the multiplicative factor applied to a nominal leakage power
+// when the block sits at tempC instead of the reference temperature.
+func (l LeakageParams) Scale(tempC float64) float64 {
+	t := tempC
+	if t < l.MinTempC {
+		t = l.MinTempC
+	}
+	if t > l.MaxTempC {
+		t = l.MaxTempC
+	}
+	tK := t + 273.15
+	refK := l.ReferenceTempC + 273.15
+	quad := (tK / refK) * (tK / refK)
+	return quad * math.Exp(l.BetaPerC*(t-l.ReferenceTempC))
+}

@@ -1,0 +1,146 @@
+// Package sim provides a deterministic, single-threaded, event-driven
+// simulation engine used by every timing component of the CMP model.
+//
+// The engine maintains a global cycle counter and a priority queue of
+// events.  Components schedule callbacks at absolute or relative cycles;
+// events scheduled for the same cycle execute in FIFO order, which makes
+// every simulation run bit-for-bit reproducible for a given seed and
+// configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is the simulation time unit.  One Cycle corresponds to one core
+// clock cycle.
+type Cycle uint64
+
+// EventFunc is a callback executed by the engine when its scheduled cycle
+// is reached.
+type EventFunc func()
+
+// event is a scheduled callback.
+type event struct {
+	when Cycle
+	seq  uint64 // tie-breaker: FIFO among events at the same cycle
+	fn   EventFunc
+}
+
+// eventHeap implements heap.Interface ordered by (when, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation kernel.  It is not safe for concurrent use; the
+// whole timing model runs on a single goroutine, which is both faster for
+// this workload and required for determinism.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	// Executed counts how many events have been dispatched; useful for
+	// progress reporting and for guarding against runaway simulations.
+	Executed uint64
+	// MaxEvents, when non-zero, aborts Run with a panic after that many
+	// events have executed.  It is a safety net for tests.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine at cycle 0 with an empty event queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule registers fn to run delay cycles from now.  A delay of zero runs
+// fn later in the current cycle, after all previously scheduled events for
+// this cycle.
+func (e *Engine) Schedule(delay Cycle, fn EventFunc) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at the given absolute cycle.  Scheduling in
+// the past is a programming error and panics.
+func (e *Engine) ScheduleAt(when Cycle, fn EventFunc) {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil EventFunc")
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%d when=%d", e.now, when))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{when: when, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, advancing the clock to its cycle.  It
+// returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.when
+	e.Executed++
+	if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
+		panic("sim: MaxEvents exceeded")
+	}
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events whose cycle is <= limit.  The clock never
+// advances past limit; events beyond it remain queued.
+func (e *Engine) RunUntil(limit Cycle) {
+	for len(e.events) > 0 && e.events[0].when <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Advance moves the clock forward by delta without executing anything.  It
+// panics if events are pending before the target cycle, since skipping them
+// would corrupt the timing model.
+func (e *Engine) Advance(delta Cycle) {
+	target := e.now + delta
+	if len(e.events) > 0 && e.events[0].when < target {
+		panic("sim: Advance would skip pending events")
+	}
+	e.now = target
+}

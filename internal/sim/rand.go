@@ -1,0 +1,137 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (splitmix64 seeding + xorshift128+ core).  The standard library's
+// math/rand is deliberately avoided so that workload generation stays
+// reproducible across Go versions and so each component can own an
+// independent stream seeded from the experiment seed.
+type Rand struct {
+	s0, s1 uint64
+}
+
+// splitmix64 expands a seed into well-distributed state words.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRand returns a generator seeded from seed.  Two generators with the
+// same seed produce identical sequences.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed.
+func (r *Rand) Seed(seed uint64) {
+	x := seed
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.s0
+	y := r.s1
+	r.s0 = y
+	x ^= x << 23
+	r.s1 = x ^ y ^ (x >> 17) ^ (y >> 26)
+	return r.s1 + y
+}
+
+// Uint32 returns 32 pseudo-random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a value in [0, n).  It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n).  It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with mean
+// approximately mean (minimum 1).  It is used to draw run lengths such as
+// the number of compute instructions between memory references.
+func (r *Rand) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1.0 / mean
+	n := 1
+	for !r.Bool(p) && n < int(mean*16) {
+		n++
+	}
+	return n
+}
+
+// Zipf returns a sample in [0, n) following an approximate Zipf-like
+// distribution with skew s (s=0 is uniform).  Larger s concentrates mass on
+// low indices; the implementation uses inverse-power transform sampling,
+// which is accurate enough for locality modelling.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if s <= 0 {
+		return r.Intn(n)
+	}
+	u := r.Float64()
+	// Inverse transform of a truncated power-law density x^(-s) on [1, n+1).
+	if s == 1 {
+		// Special-case the harmonic density to avoid division by zero.
+		v := powf(float64(n)+1, u)
+		idx := int(v) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+	oneMinus := 1 - s
+	v := powf(u*(powf(float64(n)+1, oneMinus)-1)+1, 1/oneMinus)
+	idx := int(v) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// powf is a^b for positive a; zero or negative a yields zero, which is the
+// safe value for the truncated power-law sampler above.
+func powf(a, b float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	return math.Exp(b * math.Log(a))
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) returned %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRand(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 returned %v", v)
+		}
+	}
+}
+
+func TestFloat64Coverage(t *testing.T) {
+	// The generator should cover both halves of [0,1) reasonably evenly.
+	r := NewRand(13)
+	low := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.5 {
+			low++
+		}
+	}
+	frac := float64(low) / float64(n)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("low-half fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRand(17)
+	hits := 0
+	n := 50000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.2) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.17 || frac > 0.23 {
+		t.Fatalf("Bool(0.2) hit fraction %.3f, want ~0.2", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(19)
+	sum := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 6.5 || mean > 9.5 {
+		t.Fatalf("Geometric(8) sample mean %.2f, want ~8", mean)
+	}
+}
+
+func TestGeometricMinimumOne(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 1000; i++ {
+		if r.Geometric(0.5) < 1 {
+			t.Fatal("Geometric returned a value below 1")
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRand(29)
+	n := 1000
+	counts := make([]int, n)
+	draws := 200000
+	for i := 0; i < draws; i++ {
+		v := r.Zipf(n, 1.0)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The first decile must receive clearly more mass than the last decile.
+	first, last := 0, 0
+	for i := 0; i < n/10; i++ {
+		first += counts[i]
+		last += counts[n-1-i]
+	}
+	if first <= last*2 {
+		t.Fatalf("Zipf skew too weak: first decile %d, last decile %d", first, last)
+	}
+}
+
+func TestZipfUniformWhenSkewZero(t *testing.T) {
+	r := NewRand(31)
+	n := 10
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		counts[r.Zipf(n, 0)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Zipf(s=0) bucket %d has %d draws, want ~10000", i, c)
+		}
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	r := NewRand(37)
+	if v := r.Zipf(1, 1.2); v != 0 {
+		t.Fatalf("Zipf(1) = %d, want 0", v)
+	}
+	if v := r.Zipf(0, 1.2); v != 0 {
+		t.Fatalf("Zipf(0) = %d, want 0", v)
+	}
+}
+
+// Property: Uint64n(n) stays within [0, n) for arbitrary n.
+func TestPropertyUint64nRange(t *testing.T) {
+	r := NewRand(41)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reseeding with the same value restarts the identical sequence.
+func TestPropertySeedRestart(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := NewRand(seed)
+		first := []uint64{a.Uint64(), a.Uint64(), a.Uint64()}
+		a.Seed(seed)
+		for _, want := range first {
+			if a.Uint64() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package stats provides light-weight statistic collectors used across the
+// simulator: scalar counters, accumulators with mean/min/max, simple
+// histograms, and ratio helpers.  Everything is plain Go values so that
+// collectors can be embedded in hot structures without indirection.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Accumulator tracks the sum, count, minimum and maximum of a stream of
+// float64 samples.
+type Accumulator struct {
+	sum   float64
+	sumSq float64
+	count uint64
+	min   float64
+	max   float64
+}
+
+// Observe records one sample.
+func (a *Accumulator) Observe(v float64) {
+	if a.count == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.sum += v
+	a.sumSq += v * v
+	a.count++
+}
+
+// Count returns the number of samples observed.
+func (a *Accumulator) Count() uint64 { return a.count }
+
+// Sum returns the sum of all samples.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the sample mean, or zero if no samples were observed.
+func (a *Accumulator) Mean() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.sum / float64(a.count)
+}
+
+// Variance returns the population variance, or zero if fewer than two
+// samples were observed.
+func (a *Accumulator) Variance() float64 {
+	if a.count < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumSq/float64(a.count) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observed sample (zero when empty).
+func (a *Accumulator) Min() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest observed sample (zero when empty).
+func (a *Accumulator) Max() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Reset discards all samples.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// Ratio returns num/den, or zero when den is zero.  It is the standard way
+// the simulator computes rates (miss rate, occupation, ...).
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RatioU is Ratio for unsigned counters.
+func RatioU(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// PercentChange returns (v-base)/base, or zero when base is zero.
+func PercentChange(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base
+}
+
+// Histogram is a fixed-bucket histogram over [0, +inf) with user-provided
+// upper bounds; samples beyond the last bound fall into the overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given strictly increasing upper
+// bounds.  It panics if bounds are empty or not sorted.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records a sample into the appropriate bucket.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count of bucket i (the last index is the overflow
+// bucket).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Quantile returns an approximate q-quantile (0<=q<=1) using bucket upper
+// bounds; the overflow bucket reports the last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.total))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// String renders the histogram for debugging.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	prev := 0.0
+	for i, bound := range h.bounds {
+		fmt.Fprintf(&b, "[%g,%g): %d\n", prev, bound, h.counts[i])
+		prev = bound
+	}
+	fmt.Fprintf(&b, "[%g,+inf): %d\n", prev, h.counts[len(h.counts)-1])
+	return b.String()
+}

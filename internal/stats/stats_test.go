@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter value %d", c.Value())
+	}
+	c.Inc()
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 7 {
+		t.Fatalf("counter value %d, want 7", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter after reset %d, want 0", c.Value())
+	}
+}
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	for _, v := range []float64{2, 4, 6, 8} {
+		a.Observe(v)
+	}
+	if a.Count() != 4 {
+		t.Fatalf("count %d, want 4", a.Count())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean %v, want 5", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 8 {
+		t.Fatalf("min/max %v/%v, want 2/8", a.Min(), a.Max())
+	}
+	if a.Sum() != 20 {
+		t.Fatalf("sum %v, want 20", a.Sum())
+	}
+	if math.Abs(a.Variance()-5) > 1e-9 {
+		t.Fatalf("variance %v, want 5", a.Variance())
+	}
+	if math.Abs(a.StdDev()-math.Sqrt(5)) > 1e-9 {
+		t.Fatalf("stddev %v", a.StdDev())
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Observe(3)
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 {
+		t.Fatal("reset did not clear accumulator")
+	}
+}
+
+func TestAccumulatorNegativeValues(t *testing.T) {
+	var a Accumulator
+	a.Observe(-3)
+	a.Observe(3)
+	if a.Min() != -3 || a.Max() != 3 {
+		t.Fatalf("min/max %v/%v", a.Min(), a.Max())
+	}
+	if a.Mean() != 0 {
+		t.Fatalf("mean %v, want 0", a.Mean())
+	}
+}
+
+func TestRatioHelpers(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("Ratio(3,4) wrong")
+	}
+	if RatioU(1, 0) != 0 {
+		t.Fatal("RatioU with zero denominator should be 0")
+	}
+	if RatioU(1, 4) != 0.25 {
+		t.Fatal("RatioU(1,4) wrong")
+	}
+	if PercentChange(110, 100) != 0.1 {
+		t.Fatal("PercentChange wrong")
+	}
+	if PercentChange(1, 0) != 0 {
+		t.Fatal("PercentChange with zero base should be 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d, want 5", h.Total())
+	}
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.NumBuckets() != 4 {
+		t.Fatalf("NumBuckets %d, want 4", h.NumBuckets())
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	h.Observe(10)
+	// SearchFloat64s(10) returns index 0, so the sample counts in [0,10).
+	if h.Bucket(0) != 1 {
+		t.Fatalf("boundary sample placed in bucket with count %d", h.Bucket(0))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 10))
+	}
+	if q := h.Quantile(0); q == 0 && h.Total() == 0 {
+		t.Fatal("quantile on non-empty histogram")
+	}
+	if h.Quantile(1) != 16 {
+		t.Fatalf("q=1 quantile %v, want overflow bound 16", h.Quantile(1))
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{5, 3})
+}
+
+func TestHistogramPanicsOnEmptyBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty bounds did not panic")
+		}
+	}()
+	NewHistogram(nil)
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	s := h.String()
+	if s == "" {
+		t.Fatal("String returned empty output")
+	}
+}
+
+// Property: the accumulator mean always lies between min and max.  Samples
+// are folded into a bounded range so the running sum cannot overflow float64.
+func TestPropertyMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var a Accumulator
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			a.Observe(math.Mod(v, 1e9))
+		}
+		if a.Count() == 0 {
+			return true
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram bucket counts always sum to the total.
+func TestPropertyHistogramTotal(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram([]float64{16, 64, 256, 1024})
+		for _, v := range raw {
+			h.Observe(float64(v))
+		}
+		var sum uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return sum == h.Total() && h.Total() == uint64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package thermal is the HotSpot-like lumped-RC thermal model used to close
+// the leakage–temperature loop: the simulator samples block powers every
+// 10 000 cycles (as the paper does), the model integrates the block
+// temperatures forward, and the updated temperatures scale the leakage of
+// the next interval.
+//
+// The floorplan follows the CMP of Figure 1: four cores, each with its
+// private L2 bank next to it, and the shared bus in the middle.  Each block
+// has a thermal capacitance and a resistance to the heat sink; adjacent
+// blocks are coupled by lateral resistances.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Block identifies one floorplan unit.
+type Block int
+
+// Floorplan block indices for a 4-core CMP.
+const (
+	Core0 Block = iota
+	Core1
+	Core2
+	Core3
+	L2Bank0
+	L2Bank1
+	L2Bank2
+	L2Bank3
+	BusBlock
+	// NumBlocks is the number of floorplan units.
+	NumBlocks
+)
+
+// String names the block.
+func (b Block) String() string {
+	switch b {
+	case Core0, Core1, Core2, Core3:
+		return fmt.Sprintf("core%d", int(b))
+	case L2Bank0, L2Bank1, L2Bank2, L2Bank3:
+		return fmt.Sprintf("l2bank%d", int(b-L2Bank0))
+	case BusBlock:
+		return "bus"
+	default:
+		return fmt.Sprintf("Block(%d)", int(b))
+	}
+}
+
+// CoreBlock returns the floorplan block of core i.
+func CoreBlock(i int) Block { return Core0 + Block(i) }
+
+// L2Block returns the floorplan block of L2 bank i.
+func L2Block(i int) Block { return L2Bank0 + Block(i) }
+
+// Config holds the RC parameters of the model.
+type Config struct {
+	// AmbientC is the ambient (heat-sink) temperature in °C.
+	AmbientC float64
+	// InitialC is the starting temperature of every block.
+	InitialC float64
+	// CoreRtoAmbient / L2RtoAmbient / BusRtoAmbient are the vertical
+	// thermal resistances (°C per Watt).
+	CoreRtoAmbient float64
+	L2RtoAmbient   float64
+	BusRtoAmbient  float64
+	// CoreCapacitance / L2Capacitance / BusCapacitance are the thermal
+	// capacitances (Joules per °C).
+	CoreCapacitance float64
+	L2Capacitance   float64
+	BusCapacitance  float64
+	// LateralR couples adjacent blocks (°C per Watt); larger means weaker
+	// coupling.
+	LateralR float64
+	// MaxStepSeconds bounds the forward-Euler step for stability; larger
+	// sampling intervals are subdivided.
+	MaxStepSeconds float64
+}
+
+// DefaultConfig returns parameters that settle cores around 70-90°C and L2
+// banks around 50-70°C for the power densities of the default energy model.
+func DefaultConfig() Config {
+	return Config{
+		AmbientC:        45,
+		InitialC:        55,
+		CoreRtoAmbient:  2.0,
+		L2RtoAmbient:    4.0,
+		BusRtoAmbient:   6.0,
+		CoreCapacitance: 0.03,
+		L2Capacitance:   0.06,
+		BusCapacitance:  0.01,
+		LateralR:        8.0,
+		MaxStepSeconds:  0.0005,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CoreRtoAmbient <= 0 || c.L2RtoAmbient <= 0 || c.BusRtoAmbient <= 0 {
+		return fmt.Errorf("thermal: resistances must be positive")
+	}
+	if c.CoreCapacitance <= 0 || c.L2Capacitance <= 0 || c.BusCapacitance <= 0 {
+		return fmt.Errorf("thermal: capacitances must be positive")
+	}
+	if c.LateralR <= 0 {
+		return fmt.Errorf("thermal: LateralR must be positive")
+	}
+	if c.MaxStepSeconds <= 0 {
+		return fmt.Errorf("thermal: MaxStepSeconds must be positive")
+	}
+	return nil
+}
+
+// Model integrates block temperatures.
+type Model struct {
+	cfg   Config
+	temps [NumBlocks]float64
+	r     [NumBlocks]float64
+	c     [NumBlocks]float64
+	// neighbors lists laterally coupled blocks.
+	neighbors [NumBlocks][]Block
+	// Steps counts integration sub-steps performed.
+	Steps uint64
+}
+
+// New builds a model; the configuration must validate.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg}
+	for b := Block(0); b < NumBlocks; b++ {
+		m.temps[b] = cfg.InitialC
+		switch {
+		case b >= Core0 && b <= Core3:
+			m.r[b] = cfg.CoreRtoAmbient
+			m.c[b] = cfg.CoreCapacitance
+		case b >= L2Bank0 && b <= L2Bank3:
+			m.r[b] = cfg.L2RtoAmbient
+			m.c[b] = cfg.L2Capacitance
+		default:
+			m.r[b] = cfg.BusRtoAmbient
+			m.c[b] = cfg.BusCapacitance
+		}
+	}
+	// Each core is adjacent to its L2 bank and to the bus; L2 banks also
+	// neighbour the bus; cores neighbour the next core (ring-less row).
+	for i := 0; i < 4; i++ {
+		core := CoreBlock(i)
+		bank := L2Block(i)
+		m.neighbors[core] = append(m.neighbors[core], bank, BusBlock)
+		m.neighbors[bank] = append(m.neighbors[bank], core, BusBlock)
+		m.neighbors[BusBlock] = append(m.neighbors[BusBlock], core, bank)
+		if i > 0 {
+			prev := CoreBlock(i - 1)
+			m.neighbors[core] = append(m.neighbors[core], prev)
+			m.neighbors[prev] = append(m.neighbors[prev], core)
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Temp returns the current temperature of a block in °C.
+func (m *Model) Temp(b Block) float64 { return m.temps[b] }
+
+// Temps returns a copy of all block temperatures.
+func (m *Model) Temps() [NumBlocks]float64 { return m.temps }
+
+// MaxTemp returns the hottest block temperature.
+func (m *Model) MaxTemp() float64 {
+	max := m.temps[0]
+	for _, t := range m.temps[1:] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Step integrates the model forward by dt seconds with the given per-block
+// power in Watts.  Long intervals are subdivided into MaxStepSeconds chunks
+// for numerical stability.
+func (m *Model) Step(powerW [NumBlocks]float64, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	remaining := dt
+	for remaining > 0 {
+		h := math.Min(remaining, m.cfg.MaxStepSeconds)
+		m.euler(powerW, h)
+		remaining -= h
+	}
+}
+
+// euler performs one forward-Euler sub-step.
+func (m *Model) euler(powerW [NumBlocks]float64, h float64) {
+	m.Steps++
+	var next [NumBlocks]float64
+	for b := Block(0); b < NumBlocks; b++ {
+		// Heat in: block power.  Heat out: to ambient and to neighbours.
+		flowOut := (m.temps[b] - m.cfg.AmbientC) / m.r[b]
+		for _, n := range m.neighbors[b] {
+			flowOut += (m.temps[b] - m.temps[n]) / m.cfg.LateralR
+		}
+		dTdt := (powerW[b] - flowOut) / m.c[b]
+		next[b] = m.temps[b] + h*dTdt
+		// Guard against numerical explosion from absurd inputs.
+		if next[b] < m.cfg.AmbientC-50 {
+			next[b] = m.cfg.AmbientC - 50
+		}
+		if next[b] > 400 {
+			next[b] = 400
+		}
+	}
+	m.temps = next
+}
+
+// SteadyState returns the temperatures the model converges to under a
+// constant power map, by integrating until the largest change per second
+// falls below tolC.  It does not modify the model state.
+func (m *Model) SteadyState(powerW [NumBlocks]float64, tolC float64) [NumBlocks]float64 {
+	saved := m.temps
+	savedSteps := m.Steps
+	defer func() { m.temps, m.Steps = saved, savedSteps }()
+	for i := 0; i < 100000; i++ {
+		before := m.temps
+		m.Step(powerW, 0.01)
+		maxDelta := 0.0
+		for b := range before {
+			d := math.Abs(m.temps[b] - before[b])
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta < tolC*0.01 {
+			break
+		}
+	}
+	return m.temps
+}

@@ -1,0 +1,185 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockNames(t *testing.T) {
+	if Core0.String() != "core0" || Core3.String() != "core3" {
+		t.Fatal("core block names wrong")
+	}
+	if L2Bank0.String() != "l2bank0" || L2Bank3.String() != "l2bank3" {
+		t.Fatal("L2 block names wrong")
+	}
+	if BusBlock.String() != "bus" {
+		t.Fatal("bus block name wrong")
+	}
+	if Block(99).String() == "" {
+		t.Fatal("unknown block should render")
+	}
+	if CoreBlock(2) != Core2 || L2Block(1) != L2Bank1 {
+		t.Fatal("block index helpers wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.CoreRtoAmbient = 0 },
+		func(c *Config) { c.L2Capacitance = 0 },
+		func(c *Config) { c.LateralR = 0 },
+		func(c *Config) { c.MaxStepSeconds = 0 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d should be invalid", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestInitialTemperatures(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	for b := Block(0); b < NumBlocks; b++ {
+		if m.Temp(b) != DefaultConfig().InitialC {
+			t.Fatalf("block %v starts at %v, want %v", b, m.Temp(b), DefaultConfig().InitialC)
+		}
+	}
+}
+
+func TestZeroPowerCoolsTowardAmbient(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialC = 90
+	m := MustNew(cfg)
+	var none [NumBlocks]float64
+	m.Step(none, 5.0)
+	for b := Block(0); b < NumBlocks; b++ {
+		if m.Temp(b) > 46 {
+			t.Fatalf("block %v did not cool toward ambient: %v°C", b, m.Temp(b))
+		}
+		if m.Temp(b) < cfg.AmbientC-1 {
+			t.Fatalf("block %v cooled below ambient: %v°C", b, m.Temp(b))
+		}
+	}
+}
+
+func TestPowerHeatsBlocks(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	var p [NumBlocks]float64
+	p[Core0] = 10
+	m.Step(p, 2.0)
+	if m.Temp(Core0) <= DefaultConfig().InitialC {
+		t.Fatal("powered core did not heat up")
+	}
+	// Lateral coupling should warm the neighbouring L2 bank above the
+	// unpowered far bank.
+	if m.Temp(L2Bank0) <= m.Temp(L2Bank3) {
+		t.Fatalf("lateral coupling missing: near bank %v°C, far bank %v°C",
+			m.Temp(L2Bank0), m.Temp(L2Bank3))
+	}
+	if m.MaxTemp() != m.Temp(Core0) {
+		t.Fatal("hottest block should be the powered core")
+	}
+}
+
+func TestSteadyStateMatchesAnalytic(t *testing.T) {
+	// With lateral coupling to unpowered blocks the steady temperature of a
+	// single powered block sits between ambient and ambient + P*R.
+	cfg := DefaultConfig()
+	m := MustNew(cfg)
+	var p [NumBlocks]float64
+	p[Core1] = 8
+	ss := m.SteadyState(p, 0.01)
+	upper := cfg.AmbientC + 8*cfg.CoreRtoAmbient + 1
+	if ss[Core1] <= cfg.AmbientC+1 || ss[Core1] >= upper {
+		t.Fatalf("steady core temp %v outside (ambient, ambient+P*R] = (%v, %v)", ss[Core1], cfg.AmbientC, upper)
+	}
+	// SteadyState must not mutate the live model.
+	if m.Temp(Core1) != cfg.InitialC {
+		t.Fatal("SteadyState modified model state")
+	}
+}
+
+func TestStepSubdividesLongIntervals(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	var p [NumBlocks]float64
+	p[Core0] = 5
+	m.Step(p, 0.01)
+	if m.Steps < 10 {
+		t.Fatalf("long step not subdivided: %d sub-steps", m.Steps)
+	}
+	before := m.Steps
+	m.Step(p, 0)
+	if m.Steps != before {
+		t.Fatal("zero-length step should do nothing")
+	}
+}
+
+func TestTempsCopy(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	temps := m.Temps()
+	temps[Core0] = 999
+	if m.Temp(Core0) == 999 {
+		t.Fatal("Temps returned a live reference")
+	}
+}
+
+func TestRealisticPowerMapStaysInLeakageModelRange(t *testing.T) {
+	// With the default energy model's typical powers (cores ~5-10 W, L2
+	// banks ~1-3 W, bus ~1 W), steady temperatures must stay well within
+	// the leakage model's validity range (25-125°C).
+	m := MustNew(DefaultConfig())
+	var p [NumBlocks]float64
+	for i := 0; i < 4; i++ {
+		p[CoreBlock(i)] = 8
+		p[L2Block(i)] = 2.5
+	}
+	p[BusBlock] = 1
+	ss := m.SteadyState(p, 0.01)
+	for b := Block(0); b < NumBlocks; b++ {
+		if ss[b] < 45 || ss[b] > 125 {
+			t.Fatalf("block %v steady temperature %v°C outside expected range", b, ss[b])
+		}
+	}
+	// Cores must run hotter than their L2 banks.
+	if ss[Core0] <= ss[L2Bank0] {
+		t.Fatal("cores should be hotter than L2 banks")
+	}
+}
+
+// Property: temperatures never fall below (ambient - guard band) and more
+// power never yields a lower temperature for the powered block.
+func TestPropertyMonotoneInPower(t *testing.T) {
+	f := func(rawP uint8) bool {
+		pw := float64(rawP%50) + 1
+		m1 := MustNew(DefaultConfig())
+		m2 := MustNew(DefaultConfig())
+		var p1, p2 [NumBlocks]float64
+		p1[Core2] = pw
+		p2[Core2] = pw * 2
+		m1.Step(p1, 1.0)
+		m2.Step(p2, 1.0)
+		if m2.Temp(Core2) < m1.Temp(Core2) {
+			return false
+		}
+		return m1.Temp(Core2) >= DefaultConfig().AmbientC-50 &&
+			!math.IsNaN(m1.Temp(Core2)) && !math.IsInf(m2.Temp(Core2), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+// The three ALPBench-like multimedia generators.  Common traits: streaming
+// frame buffers whose contents are touched once per frame and then dead
+// (short generations — decay-friendly: killing them costs nothing), a small
+// hot private state (tables, score buffers) that is accessed often enough to
+// survive any decay interval, and read-mostly shared reference data.  The
+// per-frame streams are modelled with a hot window that moves every
+// iteration, so a new frame touches new blocks and the previous frame's
+// lines become dead exactly as in the real codecs.
+
+func init() {
+	Register("mpeg2enc", NewMPEG2Enc)
+	Register("mpeg2dec", NewMPEG2Dec)
+	Register("facerec", NewFacerec)
+}
+
+// NewMPEG2Enc models MPEG-2 encoding: cores stream over private slices of
+// the current frame (sequential, large footprint, touched once per frame),
+// perform motion estimation against a shared reference frame (read-mostly
+// sharing with good locality), and write out compressed macroblocks.
+func NewMPEG2Enc(scale float64) Generator {
+	return &phasedBenchmark{
+		name:        "mpeg2enc",
+		privBytes:   1536 * 1024,
+		sharedBytes: 512 * 1024,
+		lineBytes:   64,
+		iterations:  12, // frames
+		scale:       scale,
+		phases: []phaseParams{
+			{ // motion estimation: stream this frame's window, read shared reference
+				refs: 16000, meanCompute: 16.2, storeFrac: 0.08,
+				sharedFrac: 0.35, sharedStoreFrac: 0.02,
+				privBlocks: 24576, sharedBlocks: 8192,
+				privSkew: 0, sharedSkew: 1.2, stride: 1, hotWindowFrac: 1.0 / 12,
+			},
+			{ // DCT + quantisation: small hot private tables, high locality
+				refs: 8000, meanCompute: 27, storeFrac: 0.35,
+				sharedFrac: 0.05, sharedStoreFrac: 0.05,
+				privBlocks: 1024, sharedBlocks: 8192,
+				privSkew: 1.2, sharedSkew: 1.2,
+			},
+			{ // bitstream output + reference update: streaming stores, some shared writes
+				refs: 5000, meanCompute: 13.5, storeFrac: 0.60,
+				sharedFrac: 0.20, sharedStoreFrac: 0.55,
+				privBlocks: 24576, sharedBlocks: 8192,
+				privSkew: 0.5, sharedSkew: 0.9, stride: 1, hotWindowFrac: 1.0 / 12,
+			},
+		},
+	}
+}
+
+// NewMPEG2Dec models MPEG-2 decoding: smaller working set than encoding,
+// streaming output-frame writes, read-mostly shared reference frames.
+func NewMPEG2Dec(scale float64) Generator {
+	return &phasedBenchmark{
+		name:        "mpeg2dec",
+		privBytes:   1024 * 1024,
+		sharedBytes: 384 * 1024,
+		lineBytes:   64,
+		iterations:  12, // frames
+		scale:       scale,
+		phases: []phaseParams{
+			{ // VLD + IDCT: small hot private tables, compute heavy
+				refs: 7000, meanCompute: 32.4, storeFrac: 0.25,
+				sharedFrac: 0.10, sharedStoreFrac: 0.05,
+				privBlocks: 1024, sharedBlocks: 6144,
+				privSkew: 1.2, sharedSkew: 1.2,
+			},
+			{ // motion compensation: read shared reference, write this frame's window
+				refs: 12000, meanCompute: 16.2, storeFrac: 0.40,
+				sharedFrac: 0.40, sharedStoreFrac: 0.03,
+				privBlocks: 16384, sharedBlocks: 6144,
+				privSkew: 0, sharedSkew: 1.1, stride: 1, hotWindowFrac: 1.0 / 12,
+			},
+			{ // frame output: streaming private stores
+				refs: 6000, meanCompute: 10.8, storeFrac: 0.75,
+				sharedFrac: 0.08, sharedStoreFrac: 0.40,
+				privBlocks: 16384, sharedBlocks: 6144,
+				privSkew: 0, sharedSkew: 1, stride: 1, hotWindowFrac: 1.0 / 12,
+			},
+		},
+	}
+}
+
+// NewFacerec models face recognition: cores correlate a new private image
+// tile each iteration (streamed once) against a shared gallery/model whose
+// hot entries are reused heavily, with per-core score buffers as the only
+// frequently written private state.
+func NewFacerec(scale float64) Generator {
+	return &phasedBenchmark{
+		name:        "facerec",
+		privBytes:   512 * 1024,
+		sharedBytes: 1024 * 1024,
+		lineBytes:   64,
+		iterations:  10, // images
+		scale:       scale,
+		phases: []phaseParams{
+			{ // filter/FFT over the current image window: strided, read-write
+				refs: 9000, meanCompute: 24.3, storeFrac: 0.30,
+				sharedFrac: 0.10, sharedStoreFrac: 0.02,
+				privBlocks: 8192, sharedBlocks: 16384,
+				privSkew: 0.5, sharedSkew: 1.1, stride: 1, hotWindowFrac: 1.0 / 10,
+			},
+			{ // correlation against the shared gallery: read-mostly, hot entries reused
+				refs: 14000, meanCompute: 18.9, storeFrac: 0.10,
+				sharedFrac: 0.60, sharedStoreFrac: 0.02,
+				privBlocks: 8192, sharedBlocks: 16384,
+				privSkew: 0.9, sharedSkew: 1.2,
+			},
+			{ // score accumulation: tiny hot private buffer, store heavy
+				refs: 3000, meanCompute: 13.5, storeFrac: 0.65,
+				sharedFrac: 0.05, sharedStoreFrac: 0.30,
+				privBlocks: 256, sharedBlocks: 16384,
+				privSkew: 1.2, sharedSkew: 1.1,
+			},
+		},
+	}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"cmpleak/internal/sim"
+)
+
+// phasedBenchmark is the common machinery behind all six paper benchmarks:
+// a layout of private and shared regions plus a list of phases executed in
+// order by every core.  Benchmarks differ only in their region sizes and
+// phase parameters.
+type phasedBenchmark struct {
+	name string
+	// privBytes / sharedBytes define the per-core and shared footprints.
+	privBytes   uint64
+	sharedBytes uint64
+	lineBytes   uint64
+	// phases are executed in order; the whole list is repeated
+	// `iterations` times (outer loop of iterative scientific codes, frames
+	// of multimedia codes).
+	phases     []phaseParams
+	iterations int
+	// scale multiplies reference counts (reference counts in the phase
+	// definitions correspond to scale 1.0).
+	scale float64
+}
+
+// Name implements Generator.
+func (b *phasedBenchmark) Name() string { return b.name }
+
+// Streams implements Generator: every core gets an independent RNG stream
+// derived from the seed and its index, over the same shared region.
+func (b *phasedBenchmark) Streams(cores int, seed uint64) []Stream {
+	if cores <= 0 {
+		cores = 1
+	}
+	regs := newRegions(cores, b.privBytes, b.sharedBytes, b.lineBytes)
+	iterations := b.iterations
+	if iterations <= 0 {
+		iterations = 1
+	}
+	streams := make([]Stream, cores)
+	for c := 0; c < cores; c++ {
+		rng := sim.NewRand(seed*1315423911 + uint64(c)*2654435761 + 97)
+		var entries []Entry
+		for it := 0; it < iterations; it++ {
+			for _, p := range b.phases {
+				scaled := p
+				scaled.refs = scaleRefs(p.refs, b.scale)
+				entries = generatePhase(rng, regs, c, scaled, uint64(it), entries)
+			}
+		}
+		streams[c] = NewSliceStream(entries)
+	}
+	return streams
+}
+
+// scaleRefs scales a reference count, keeping at least one reference so a
+// phase never disappears entirely.
+func scaleRefs(refs int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(refs) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

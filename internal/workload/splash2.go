@@ -1,0 +1,118 @@
+package workload
+
+// The three Splash-2-like scientific generators.  Common traits: iterative
+// outer loops (time steps) whose working sets are revisited every iteration
+// — long generations that put reuse distances right in the range of the
+// paper's decay times (64K-512K cycles), which is why decay costs these
+// codes performance — a meaningful amount of read-write sharing (tree nodes,
+// boundary molecules, shared tables) that feeds the Protocol technique with
+// invalidations, and a moderate store fraction.
+
+func init() {
+	Register("WATER-NS", NewWaterNS)
+	Register("FMM", NewFMM)
+	Register("VOLREND", NewVolrend)
+}
+
+// NewWaterNS models WATER-NSQUARED: each core owns a block of molecules it
+// sweeps every time step (regular strides, full reuse across iterations),
+// and force computation reads neighbouring cores' molecules through the
+// shared region with accumulating writes (write sharing).
+func NewWaterNS(scale float64) Generator {
+	return &phasedBenchmark{
+		name:        "WATER-NS",
+		privBytes:   384 * 1024,
+		sharedBytes: 512 * 1024,
+		lineBytes:   64,
+		iterations:  10,
+		scale:       scale,
+		phases: []phaseParams{
+			{ // intra-molecular phase: private, strided sweep, read-mostly
+				refs: 18000, meanCompute: 12.6, storeFrac: 0.25,
+				sharedFrac: 0.05, sharedStoreFrac: 0.10,
+				privBlocks: 6144, sharedBlocks: 8192,
+				privSkew: 0.6, sharedSkew: 0.9, stride: 1,
+			},
+			{ // inter-molecular forces: heavy shared reads, some shared writes
+				refs: 26000, meanCompute: 16.2, storeFrac: 0.18,
+				sharedFrac: 0.45, sharedStoreFrac: 0.22,
+				privBlocks: 6144, sharedBlocks: 8192,
+				privSkew: 1.1, sharedSkew: 1,
+			},
+			{ // update phase: private writes dominate, strided
+				refs: 10000, meanCompute: 9, storeFrac: 0.55,
+				sharedFrac: 0.10, sharedStoreFrac: 0.45,
+				privBlocks: 6144, sharedBlocks: 8192,
+				privSkew: 0.7, sharedSkew: 0.9, stride: 1,
+			},
+		},
+	}
+}
+
+// NewFMM models the Fast Multipole Method: irregular traversal of a shared
+// tree (high shared fraction, low locality) plus per-core particle lists
+// updated each iteration.
+func NewFMM(scale float64) Generator {
+	return &phasedBenchmark{
+		name:        "FMM",
+		privBytes:   512 * 1024,
+		sharedBytes: 1024 * 1024,
+		lineBytes:   64,
+		iterations:  8,
+		scale:       scale,
+		phases: []phaseParams{
+			{ // tree construction / upward pass: shared writes
+				refs: 12000, meanCompute: 10.8, storeFrac: 0.30,
+				sharedFrac: 0.55, sharedStoreFrac: 0.35,
+				privBlocks: 8192, sharedBlocks: 16384,
+				privSkew: 0.8, sharedSkew: 0.8,
+			},
+			{ // interaction lists: wide shared reads, low locality
+				refs: 22000, meanCompute: 18, storeFrac: 0.12,
+				sharedFrac: 0.65, sharedStoreFrac: 0.10,
+				privBlocks: 8192, sharedBlocks: 16384,
+				privSkew: 0.9, sharedSkew: 0.6,
+			},
+			{ // particle update: private, strided
+				refs: 9000, meanCompute: 9, storeFrac: 0.50,
+				sharedFrac: 0.08, sharedStoreFrac: 0.30,
+				privBlocks: 8192, sharedBlocks: 16384,
+				privSkew: 0.6, sharedSkew: 0.8, stride: 1,
+			},
+		},
+	}
+}
+
+// NewVolrend models VOLREND: ray casting over a large read-mostly shared
+// volume (irregular addresses revisited every frame) with small per-core
+// image tiles written privately and a shared table rebuilt by all cores.
+func NewVolrend(scale float64) Generator {
+	return &phasedBenchmark{
+		name:        "VOLREND",
+		privBytes:   128 * 1024,
+		sharedBytes: 1536 * 1024,
+		lineBytes:   64,
+		iterations:  8,
+		scale:       scale,
+		phases: []phaseParams{
+			{ // ray casting: dominated by shared volume reads
+				refs: 26000, meanCompute: 14.4, storeFrac: 0.10,
+				sharedFrac: 0.75, sharedStoreFrac: 0.03,
+				privBlocks: 2048, sharedBlocks: 24576,
+				privSkew: 0.9, sharedSkew: 0.85,
+			},
+			{ // image tile writes: private stores
+				refs: 5000, meanCompute: 7.2, storeFrac: 0.70,
+				sharedFrac: 0.05, sharedStoreFrac: 0.20,
+				privBlocks: 2048, sharedBlocks: 24576,
+				privSkew: 0.6, sharedSkew: 0.85, stride: 1,
+			},
+			{ // opacity/normal table rebuild: shared writes by all cores
+				refs: 4000, meanCompute: 10.8, storeFrac: 0.25,
+				sharedFrac: 0.50, sharedStoreFrac: 0.50,
+				privBlocks: 2048, sharedBlocks: 24576,
+				privSkew: 0.8, sharedSkew: 1,
+			},
+		},
+	}
+}

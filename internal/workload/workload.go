@@ -1,0 +1,452 @@
+// Package workload provides the multi-threaded memory-reference generators
+// that stand in for the paper's benchmarks (Splash-2: WATER-NS, FMM,
+// VOLREND; ALPBench: mpeg2enc, mpeg2dec, facerec).
+//
+// The real benchmarks cannot be run here (no SESC, no Alpha toolchain, no
+// inputs), so each is replaced by a deterministic generator tuned to the
+// properties the paper's techniques are sensitive to:
+//
+//   - footprint relative to L2 capacity (drives the Protocol technique's
+//     occupancy and its dependence on cache size),
+//   - reuse distance / generational dead time (drives how many useful lines
+//     a decay technique kills, i.e. the decay-induced miss rate),
+//   - fraction of shared data and of write sharing (drives protocol
+//     invalidations, and the Modified-line population that Selective Decay
+//     refuses to decay),
+//   - read/write mix (write-through traffic on the L2).
+//
+// Scientific generators use longer generations, larger per-phase working
+// sets and more write sharing, so decay hurts their IPC more (Figure 6b);
+// multimedia generators are streaming with short-lived blocks, so decay is
+// nearly free for them.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
+)
+
+// OpKind is the kind of memory operation in a trace entry.
+type OpKind uint8
+
+const (
+	// None means the entry carries only compute instructions.
+	None OpKind = iota
+	// Load is a read.
+	Load
+	// Store is a write.
+	Store
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Entry is one unit of a per-core reference stream: a run of compute
+// instructions followed by at most one memory operation.
+type Entry struct {
+	// ComputeInstrs is the number of non-memory instructions preceding the
+	// memory operation.
+	ComputeInstrs int
+	// Op is the memory operation kind (None for a pure compute entry).
+	Op OpKind
+	// Addr is the byte address accessed when Op != None.
+	Addr mem.Addr
+}
+
+// Instructions returns the instruction count of the entry (compute plus the
+// memory operation itself).
+func (e Entry) Instructions() uint64 {
+	n := uint64(e.ComputeInstrs)
+	if e.Op != None {
+		n++
+	}
+	return n
+}
+
+// Stream produces the reference stream of one core.
+type Stream interface {
+	// Next returns the next entry; ok is false when the stream is finished.
+	Next() (e Entry, ok bool)
+}
+
+// Generator builds the per-core streams of one benchmark.
+type Generator interface {
+	// Name is the benchmark name as used in the paper's figures.
+	Name() string
+	// Streams returns one stream per core; all streams of one call share
+	// the benchmark's shared data regions.
+	Streams(cores int, seed uint64) []Stream
+}
+
+// Class tags a benchmark as scientific (Splash-2) or multimedia (ALPBench),
+// which the experiment layer uses when summarising Figure 6.
+type Class uint8
+
+const (
+	// Scientific marks Splash-2-like workloads.
+	Scientific Class = iota
+	// Multimedia marks ALPBench-like workloads.
+	Multimedia
+	// Synthetic marks the generic configurable kernel.
+	Synthetic
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Scientific:
+		return "scientific"
+	case Multimedia:
+		return "multimedia"
+	case Synthetic:
+		return "synthetic"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// registry of named benchmarks.
+var registry = map[string]func(scale float64) Generator{}
+
+// Register adds a benchmark constructor to the registry; scale multiplies
+// the reference count so experiments can trade accuracy for run time.
+func Register(name string, ctor func(scale float64) Generator) {
+	registry[name] = ctor
+}
+
+// ByName returns the named benchmark generator at the given scale.
+func ByName(name string, scale float64) (Generator, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return ctor(scale), nil
+}
+
+// Names lists the registered benchmarks in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassOf returns the class of a registered benchmark name.
+func ClassOf(name string) Class {
+	switch name {
+	case "WATER-NS", "FMM", "VOLREND":
+		return Scientific
+	case "mpeg2enc", "mpeg2dec", "facerec":
+		return Multimedia
+	default:
+		return Synthetic
+	}
+}
+
+// PaperBenchmarks returns the six benchmark names used in the paper's
+// evaluation, in the order of Figure 6.
+func PaperBenchmarks() []string {
+	return []string{"mpeg2enc", "mpeg2dec", "facerec", "WATER-NS", "FMM", "VOLREND"}
+}
+
+// sliceStream replays a pre-generated slice of entries.
+type sliceStream struct {
+	entries []Entry
+	pos     int
+}
+
+// Next implements Stream.
+func (s *sliceStream) Next() (Entry, bool) {
+	if s.pos >= len(s.entries) {
+		return Entry{}, false
+	}
+	e := s.entries[s.pos]
+	s.pos++
+	return e, true
+}
+
+// NewSliceStream wraps a slice of entries as a Stream.
+func NewSliceStream(entries []Entry) Stream { return &sliceStream{entries: entries} }
+
+// TotalInstructions sums the instruction counts of a slice of entries.
+func TotalInstructions(entries []Entry) uint64 {
+	var n uint64
+	for _, e := range entries {
+		n += e.Instructions()
+	}
+	return n
+}
+
+// Drain consumes a stream completely and returns its entries; intended for
+// tests and the trace dumper, not for simulation of long workloads.
+func Drain(s Stream) []Entry {
+	var out []Entry
+	for {
+		e, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// regions carves a benchmark's address space into a per-core private region
+// and a shared region, mirroring how the generators lay out data.
+type regions struct {
+	sharedBase  mem.Addr
+	sharedBytes uint64
+	privBase    []mem.Addr
+	privBytes   uint64
+	line        uint64
+}
+
+// newRegions lays out `cores` private regions of privBytes each, followed by
+// one shared region of sharedBytes, all line-aligned and non-overlapping.
+func newRegions(cores int, privBytes, sharedBytes, line uint64) regions {
+	if line == 0 {
+		line = 64
+	}
+	r := regions{sharedBytes: sharedBytes, privBytes: privBytes, line: line}
+	base := mem.Addr(1 << 20) // leave page zero unused
+	r.privBase = make([]mem.Addr, cores)
+	for i := 0; i < cores; i++ {
+		r.privBase[i] = base
+		base += mem.Addr(alignUp(privBytes, line))
+	}
+	r.sharedBase = base
+	return r
+}
+
+// alignUp rounds v up to a multiple of a.
+func alignUp(v, a uint64) uint64 {
+	if a == 0 {
+		return v
+	}
+	return (v + a - 1) / a * a
+}
+
+// privateAddr returns an address inside core's private region at the given
+// block index and offset.
+func (r regions) privateAddr(core int, blockIdx uint64, off uint64) mem.Addr {
+	nblocks := r.privBytes / r.line
+	if nblocks == 0 {
+		nblocks = 1
+	}
+	return r.privBase[core] + mem.Addr((blockIdx%nblocks)*r.line+off%r.line)
+}
+
+// sharedAddr returns an address inside the shared region.
+func (r regions) sharedAddr(blockIdx uint64, off uint64) mem.Addr {
+	nblocks := r.sharedBytes / r.line
+	if nblocks == 0 {
+		nblocks = 1
+	}
+	return r.sharedBase + mem.Addr((blockIdx%nblocks)*r.line+off%r.line)
+}
+
+// phaseParams drive the generic phase generator used by all benchmarks.
+type phaseParams struct {
+	// refs is the number of memory references generated in the phase.
+	refs int
+	// meanCompute is the mean compute-instruction run between references.
+	meanCompute float64
+	// storeFrac is the probability a reference is a store.
+	storeFrac float64
+	// sharedFrac is the probability a reference targets the shared region.
+	sharedFrac float64
+	// sharedStoreFrac is the store probability for shared references
+	// (write sharing causes invalidations).
+	sharedStoreFrac float64
+	// privBlocks / sharedBlocks bound the working set touched this phase.
+	privBlocks   uint64
+	sharedBlocks uint64
+	// privSkew / sharedSkew are Zipf skews modelling temporal locality.
+	privSkew   float64
+	sharedSkew float64
+	// stride, when non-zero, makes private accesses sequential with this
+	// block stride (streaming workloads) instead of Zipf-random.
+	stride uint64
+	// rmwFrac is the probability a store targets a recently loaded block
+	// (read-modify-write behaviour).  Real codes rarely store to blocks
+	// they have not read; this keeps the L2 write-hit rate high, which is
+	// what makes the aggregate L2 miss rate low in the paper (most L2
+	// operations are write-through stores that hit).
+	rmwFrac float64
+	// hotWindowFrac, when non-zero, restricts Zipf-sampled private accesses
+	// of each phase instance to a window of this fraction of the private
+	// region.  The window moves between iterations (see generatePhase's
+	// windowShift), creating the generational behaviour decay exploits:
+	// blocks outside the current window are dead until the sweep returns.
+	hotWindowFrac float64
+	// spatial is the probability that a reference stays in the same cache
+	// block as the previous one (word-by-word walks, struct field
+	// accesses).  It is the main knob controlling the L1 hit rate, and
+	// therefore how rarely the L2 is accessed per instruction.  Zero means
+	// the default of defaultSpatial.
+	spatial float64
+}
+
+// defaultSpatial is used when a phase does not specify spatial locality.
+const defaultSpatial = 0.85
+
+// defaultRMWFrac is used when a phase does not specify rmwFrac.
+const defaultRMWFrac = 0.75
+
+// recentBlocks is a small ring buffer of recently loaded addresses used to
+// model read-modify-write stores.
+type recentBlocks struct {
+	buf  []mem.Addr
+	next int
+}
+
+func newRecentBlocks(n int) *recentBlocks { return &recentBlocks{buf: make([]mem.Addr, 0, n)} }
+
+func (rb *recentBlocks) add(a mem.Addr) {
+	if cap(rb.buf) == 0 {
+		return
+	}
+	if len(rb.buf) < cap(rb.buf) {
+		rb.buf = append(rb.buf, a)
+		return
+	}
+	rb.buf[rb.next] = a
+	rb.next = (rb.next + 1) % len(rb.buf)
+}
+
+func (rb *recentBlocks) pick(rng *sim.Rand) (mem.Addr, bool) {
+	if len(rb.buf) == 0 {
+		return 0, false
+	}
+	return rb.buf[rng.Intn(len(rb.buf))], true
+}
+
+// generatePhase emits one phase of references for a core.  windowShift
+// selects which hot window of the private region this instance of the phase
+// sweeps (typically the iteration number).
+func generatePhase(rng *sim.Rand, r regions, core int, p phaseParams, windowShift uint64, out []Entry) []Entry {
+	var seq uint64
+	rmwFrac := p.rmwFrac
+	if rmwFrac == 0 {
+		rmwFrac = defaultRMWFrac
+	}
+	spatial := p.spatial
+	if spatial == 0 {
+		spatial = defaultSpatial
+	}
+	// Separate read-modify-write candidate pools per region, so shared
+	// stores only land on shared data and the configured write-sharing
+	// fraction is preserved.
+	recentPriv := newRecentBlocks(48)
+	recentShared := newRecentBlocks(48)
+	var lastBlock mem.Addr
+	lastShared := false
+	haveLast := false
+
+	privBlocks := maxU64(p.privBlocks, 1)
+	windowBlocks := privBlocks
+	windowBase := uint64(0)
+	if p.hotWindowFrac > 0 && p.hotWindowFrac < 1 {
+		windowBlocks = maxU64(uint64(float64(privBlocks)*p.hotWindowFrac), 1)
+		nWindows := privBlocks / windowBlocks
+		if nWindows == 0 {
+			nWindows = 1
+		}
+		windowBase = (windowShift % nWindows) * windowBlocks
+	}
+
+	for i := 0; i < p.refs; i++ {
+		e := Entry{ComputeInstrs: rng.Geometric(p.meanCompute)}
+		// Spatial locality: with probability `spatial` the reference stays
+		// in the previous block (new offset), which keeps most accesses in
+		// the L1 and makes L2 touches rare, as in the real benchmarks.  The
+		// store probability follows the region of the reused block so the
+		// configured write-sharing mix is preserved.
+		if haveLast && rng.Bool(spatial) {
+			storeP := p.storeFrac
+			if lastShared {
+				storeP = p.sharedStoreFrac
+			}
+			if rng.Bool(storeP) {
+				e.Op = Store
+			} else {
+				e.Op = Load
+			}
+			e.Addr = lastBlock + mem.Addr(rng.Intn(int(r.line)))
+			out = append(out, e)
+			continue
+		}
+		shared := rng.Bool(p.sharedFrac)
+		var isStore bool
+		if shared {
+			isStore = rng.Bool(p.sharedStoreFrac)
+			if isStore && rng.Bool(rmwFrac) {
+				if a, ok := recentShared.pick(rng); ok {
+					e.Addr = a
+					e.Op = Store
+					lastBlock, lastShared, haveLast = mem.BlockAddr(a, r.line), true, true
+					out = append(out, e)
+					continue
+				}
+			}
+			blk := uint64(rng.Zipf(int(maxU64(p.sharedBlocks, 1)), p.sharedSkew))
+			e.Addr = r.sharedAddr(blk, uint64(rng.Intn(int(r.line))))
+		} else {
+			isStore = rng.Bool(p.storeFrac)
+			if isStore && rng.Bool(rmwFrac) {
+				if a, ok := recentPriv.pick(rng); ok {
+					e.Addr = a
+					e.Op = Store
+					lastBlock, lastShared, haveLast = mem.BlockAddr(a, r.line), false, true
+					out = append(out, e)
+					continue
+				}
+			}
+			var blk uint64
+			if p.stride > 0 {
+				blk = windowBase + (seq*p.stride)%windowBlocks
+				seq++
+			} else {
+				blk = windowBase + uint64(rng.Zipf(int(windowBlocks), p.privSkew))
+			}
+			e.Addr = r.privateAddr(core, blk, uint64(rng.Intn(int(r.line))))
+		}
+		if isStore {
+			e.Op = Store
+		} else {
+			e.Op = Load
+			if shared {
+				recentShared.add(e.Addr)
+			} else {
+				recentPriv.add(e.Addr)
+			}
+		}
+		lastBlock = mem.BlockAddr(e.Addr, r.line)
+		lastShared = shared
+		haveLast = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
