@@ -1,0 +1,36 @@
+# CI entry points.  `make ci` is the gate: formatting, vet, build, tests,
+# and a short benchmark smoke at a tiny workload scale.
+
+GO ?= go
+BENCH_SCALE ?= 0.005
+
+.PHONY: ci fmt vet build test bench-smoke bench
+
+ci: fmt vet build test bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench-smoke proves the benchmark harness still runs end to end: one
+# iteration of the scheduler microbenchmarks and one reduced-scale
+# simulation per technique.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim
+	CMPLEAK_BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkRun(Baseline|Protocol|Decay|SelectiveDecay)$$' -benchtime 1x .
+
+# bench runs the full figure-regeneration benchmarks at the default scale.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

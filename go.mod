@@ -1,0 +1,3 @@
+module cmpleak
+
+go 1.24

@@ -130,6 +130,12 @@ type Bus struct {
 
 	busyUntil sim.Cycle
 
+	// freeComp pools completion records so delivering a BusResult schedules
+	// a pre-bound pooled event instead of allocating a closure per
+	// transaction.
+	freeComp   *busCompletion
+	completeFn sim.ArgFunc
+
 	// Statistics.
 	Transactions    stats.Counter
 	DataTransfers   stats.Counter
@@ -150,7 +156,27 @@ func NewBus(eng *sim.Engine, memory *mem.Memory, cfg BusConfig) *Bus {
 	if cfg.BytesPerCycle <= 0 {
 		cfg.BytesPerCycle = 16
 	}
-	return &Bus{cfg: cfg, eng: eng, memory: memory}
+	b := &Bus{cfg: cfg, eng: eng, memory: memory}
+	b.completeFn = b.complete
+	return b
+}
+
+// busCompletion carries one transaction's callback and result to its
+// delivery cycle; records are pooled on an intrusive free list.
+type busCompletion struct {
+	done func(BusResult)
+	res  BusResult
+	next *busCompletion
+}
+
+// complete delivers a pooled completion (the engine-facing ArgFunc).
+func (b *Bus) complete(a any) {
+	c := a.(*busCompletion)
+	done, res := c.done, c.res
+	c.done = nil
+	c.next = b.freeComp
+	b.freeComp = c
+	done(res)
 }
 
 // Config returns the bus configuration.
@@ -236,7 +262,14 @@ func (b *Bus) Issue(txn Transaction, done func(BusResult)) sim.Cycle {
 	total := busPhase + extra
 	result := BusResult{Latency: total, Snoop: resp, FromMemory: fromMemory}
 	if done != nil {
-		b.eng.Schedule(total, func() { done(result) })
+		c := b.freeComp
+		if c == nil {
+			c = &busCompletion{}
+		} else {
+			b.freeComp = c.next
+		}
+		c.done, c.res, c.next = done, result, nil
+		b.eng.ScheduleArg(total, b.completeFn, c)
 	}
 	return total
 }

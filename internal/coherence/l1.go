@@ -65,6 +65,15 @@ type L1Controller struct {
 	// are admitted in order as drains free slots (no polling).
 	stalledStores []pendingStore
 
+	// freeReqs pools per-load request records; together with the pre-bound
+	// callbacks below they keep the load hit path and the drain loop free of
+	// per-event allocations.
+	freeReqs     *loadReq
+	finishLoadFn sim.ArgFunc
+	retryFillFn  sim.ArgFunc
+	drainDoneFn  func()
+	startDrainFn sim.EventFunc
+
 	// Statistics.
 	Loads            stats.Counter
 	Stores           stats.Counter
@@ -91,14 +100,19 @@ func NewL1Controller(id int, eng *sim.Engine, cfg L1Config) (*L1Controller, erro
 	if cfg.DrainGapCycles == 0 {
 		cfg.DrainGapCycles = 1
 	}
-	return &L1Controller{
+	l := &L1Controller{
 		id:    id,
 		eng:   eng,
 		cfg:   cfg,
 		cache: arr,
 		mshr:  cache.NewMSHR(cfg.MSHREntries),
 		wb:    cache.NewWriteBuffer(cfg.WriteBufferSlots),
-	}, nil
+	}
+	l.finishLoadFn = func(a any) { l.finishLoad(a.(*loadReq)) }
+	l.retryFillFn = func(a any) { l.requestFill(a.(*loadReq)) }
+	l.drainDoneFn = l.drainDone
+	l.startDrainFn = l.startDrain
+	return l, nil
 }
 
 // SetLowerLevel wires the controller to its private L2.
@@ -119,43 +133,71 @@ func (l *L1Controller) block(a mem.Addr) mem.Addr {
 	return mem.BlockAddr(a, l.cfg.Cache.LineBytes)
 }
 
+// loadReq carries the per-load state (issue cycle for AMAT, completion
+// callback) through the cache pipeline.  Records are pooled on an intrusive
+// free list so the load path allocates nothing in steady state.
+type loadReq struct {
+	addr  mem.Addr
+	start sim.Cycle
+	done  func()
+	next  *loadReq
+}
+
+// newReq pops a pooled request record.
+func (l *L1Controller) newReq(a mem.Addr, start sim.Cycle, done func()) *loadReq {
+	req := l.freeReqs
+	if req == nil {
+		req = &loadReq{}
+	} else {
+		l.freeReqs = req.next
+	}
+	req.addr, req.start, req.done, req.next = a, start, done, nil
+	return req
+}
+
+// finishLoad completes a load: it records the observed latency for AMAT,
+// recycles the request record, and fires the caller's callback.
+func (l *L1Controller) finishLoad(req *loadReq) {
+	l.LoadLatency.Observe(float64(l.eng.Now() - req.start))
+	done := req.done
+	req.done = nil
+	req.next = l.freeReqs
+	l.freeReqs = req
+	if done != nil {
+		done()
+	}
+}
+
 // Read services a load.  done fires when the data is available; the
 // controller records the observed latency for AMAT.
 func (l *L1Controller) Read(a mem.Addr, done func()) {
 	l.Loads.Inc()
 	start := l.eng.Now()
-	finish := func() {
-		l.LoadLatency.Observe(float64(l.eng.Now() - start))
-		if done != nil {
-			done()
-		}
-	}
-
 	set, way, hit := l.cache.Lookup(a)
 	if hit {
 		l.LoadHits.Inc()
 		l.cache.Touch(set, way, start)
 		l.cache.Hits.Inc()
-		l.eng.Schedule(l.cfg.Cache.Latency(), finish)
+		l.eng.ScheduleArg(l.cfg.Cache.Latency(), l.finishLoadFn, l.newReq(a, start, done))
 		return
 	}
 	l.LoadMisses.Inc()
 	l.cache.Misses.Inc()
-	l.requestFill(a, finish)
+	l.requestFill(l.newReq(a, start, done))
 }
 
 // requestFill allocates an MSHR entry (retrying while full) and, for primary
 // misses, asks the L2 for the block.
-func (l *L1Controller) requestFill(a mem.Addr, done func()) {
-	block := l.block(a)
+func (l *L1Controller) requestFill(req *loadReq) {
+	block := l.block(req.addr)
 	entry, isNew := l.mshr.Allocate(block, false)
 	if entry == nil {
-		// MSHR full: retry after a back-off.
+		// MSHR full: retry after a back-off (pooled, no closure).
 		l.RetryEvents.Inc()
-		l.eng.Schedule(l.cfg.RetryCycles, func() { l.requestFill(a, done) })
+		l.eng.ScheduleArg(l.cfg.RetryCycles, l.retryFillFn, req)
 		return
 	}
-	entry.AddWaiter(done)
+	entry.AddWaiter(func() { l.finishLoad(req) })
 	if !isNew {
 		return
 	}
@@ -180,7 +222,6 @@ func (l *L1Controller) fill(block mem.Addr) {
 	}
 	for _, w := range l.mshr.Complete(block) {
 		// Waiters observe the L1 hit latency on top of the fill.
-		w := w
 		l.eng.Schedule(l.cfg.Cache.Latency(), w)
 	}
 }
@@ -259,11 +300,14 @@ func (l *L1Controller) startDrain() {
 	// so their acceptance latency is not inflated by the L2 round trip.
 	l.admitStalledStores()
 	l.draining = true
-	l.below.Write(block, func() {
-		l.draining = false
-		l.admitStalledStores()
-		l.eng.Schedule(l.cfg.DrainGapCycles, l.startDrain)
-	})
+	l.below.Write(block, l.drainDoneFn)
+}
+
+// drainDone resumes the drain loop after the L2 accepts a buffered store.
+func (l *L1Controller) drainDone() {
+	l.draining = false
+	l.admitStalledStores()
+	l.eng.Schedule(l.cfg.DrainGapCycles, l.startDrainFn)
 }
 
 // InvalidateBlock removes the block from the L1 if present.  The L2 calls

@@ -47,6 +47,11 @@ type Controller struct {
 	// subsequent miss to them can be attributed to the technique.
 	decayedBlocks map[mem.Addr]struct{}
 
+	// freeRetry pools MSHR-full retry records so back-offs schedule a
+	// pre-bound pooled event instead of a fresh closure per retry.
+	freeRetry *missRetry
+	retryFn   sim.ArgFunc
+
 	// Statistics.
 	Reads                  stats.Counter
 	Writes                 stats.Counter
@@ -87,8 +92,28 @@ func NewController(eng *sim.Engine, bus *coherence.Bus, cfg ControllerConfig) (*
 		bus:           bus,
 		decayedBlocks: make(map[mem.Addr]struct{}),
 	}
+	c.retryFn = c.retryMiss
 	bus.Attach(c)
 	return c, nil
+}
+
+// missRetry carries a deferred requestMiss through its back-off; records
+// are pooled on an intrusive free list.
+type missRetry struct {
+	block   mem.Addr
+	isWrite bool
+	done    func()
+	next    *missRetry
+}
+
+// retryMiss re-attempts a miss after an MSHR-full back-off.
+func (c *Controller) retryMiss(a any) {
+	r := a.(*missRetry)
+	block, isWrite, done := r.block, r.isWrite, r.done
+	r.done = nil
+	r.next = c.freeRetry
+	c.freeRetry = r
+	c.requestMiss(block, isWrite, done)
 }
 
 // AttachL1 wires the upper-level cache used for inclusion maintenance.
@@ -243,7 +268,14 @@ func (c *Controller) requestMiss(block mem.Addr, isWrite bool, done func()) {
 	entry, isNew := c.mshr.Allocate(block, isWrite)
 	if entry == nil {
 		c.RetryEvents.Inc()
-		c.eng.Schedule(c.cfg.RetryCycles, func() { c.requestMiss(block, isWrite, done) })
+		r := c.freeRetry
+		if r == nil {
+			r = &missRetry{}
+		} else {
+			c.freeRetry = r.next
+		}
+		r.block, r.isWrite, r.done, r.next = block, isWrite, done, nil
+		c.eng.ScheduleArg(c.cfg.RetryCycles, c.retryFn, r)
 		return
 	}
 	entry.AddWaiter(done)

@@ -151,8 +151,9 @@ func (s *System) Run() (Result, error) {
 		c.Start()
 	}
 	// The periodic power/thermal sampler mirrors the paper's 10 000-cycle
-	// power trace.
-	sampler := sim.NewTicker(s.eng, s.cfg.ThermalSampleCycles, func(now sim.Cycle) bool {
+	// power trace.  It is a recurring engine event: one pooled node refired
+	// in place each period.
+	sampler := s.eng.ScheduleRecurring(s.cfg.ThermalSampleCycles, func(now sim.Cycle) bool {
 		s.samplePowerAndThermal(now)
 		return !s.allDone()
 	})

@@ -69,6 +69,16 @@ type Core struct {
 	finished          bool
 	onDone            func(id int)
 
+	// Pre-bound callbacks: the execution chain is strictly sequential, so a
+	// single pending entry slot and four funcs bound at construction replace
+	// the per-instruction closures on the hot path (zero allocations per
+	// scheduled event).
+	advanceFn      sim.EventFunc
+	issuePendingFn sim.EventFunc
+	loadDoneFn     func()
+	storeDoneFn    func()
+	pending        workload.Entry
+
 	startCycle  sim.Cycle
 	finishCycle sim.Cycle
 
@@ -88,7 +98,20 @@ func New(id int, eng *sim.Engine, cfg Config, l1 MemoryPort, stream workload.Str
 	if l1 == nil || stream == nil {
 		return nil, fmt.Errorf("cpu: L1 port and stream are required")
 	}
-	return &Core{id: id, eng: eng, cfg: cfg, l1: l1, stream: stream}, nil
+	c := &Core{id: id, eng: eng, cfg: cfg, l1: l1, stream: stream}
+	c.advanceFn = c.advance
+	c.issuePendingFn = c.issuePending
+	c.loadDoneFn = func() {
+		c.outstandingLoads--
+		c.resumeIfBlocked()
+		c.maybeFinish()
+	}
+	c.storeDoneFn = func() {
+		c.outstandingStores--
+		c.resumeIfBlocked()
+		c.maybeFinish()
+	}
+	return c, nil
 }
 
 // ID returns the core index.
@@ -107,7 +130,7 @@ func (c *Core) Start() {
 	}
 	c.started = true
 	c.startCycle = c.eng.Now()
-	c.eng.Schedule(0, c.advance)
+	c.eng.Schedule(0, c.advanceFn)
 }
 
 // Cycles returns the cycles the core ran for (start to finish, or to now if
@@ -166,35 +189,29 @@ func (c *Core) advance() {
 			if delay == 0 {
 				continue
 			}
-			c.eng.Schedule(delay, c.advance)
+			c.eng.Schedule(delay, c.advanceFn)
 			return
 		}
-		memEntry := entry
-		c.eng.Schedule(delay, func() { c.issueMem(memEntry) })
+		c.pending = entry
+		c.eng.Schedule(delay, c.issuePendingFn)
 		return
 	}
 }
 
-// issueMem sends the memory operation of an entry to the L1 and continues
-// the execution chain.
-func (c *Core) issueMem(e workload.Entry) {
+// issuePending sends the memory operation of the pending entry to the L1
+// and continues the execution chain.  Only one entry is ever pending: the
+// chain does not advance past a memory entry until this runs.
+func (c *Core) issuePending() {
+	e := c.pending
 	switch e.Op {
 	case workload.Load:
 		c.LoadsIssued.Inc()
 		c.outstandingLoads++
-		c.l1.Read(e.Addr, func() {
-			c.outstandingLoads--
-			c.resumeIfBlocked()
-			c.maybeFinish()
-		})
+		c.l1.Read(e.Addr, c.loadDoneFn)
 	case workload.Store:
 		c.StoresIssued.Inc()
 		c.outstandingStores++
-		c.l1.Write(e.Addr, func() {
-			c.outstandingStores--
-			c.resumeIfBlocked()
-			c.maybeFinish()
-		})
+		c.l1.Write(e.Addr, c.storeDoneFn)
 	}
 	c.advance()
 }

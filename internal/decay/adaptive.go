@@ -54,20 +54,20 @@ type amcState struct {
 	missesAtWin uint64
 }
 
-// Start launches an independently adapting scanner per controller.
+// Start launches an independently adapting scanner per controller.  The
+// scanner is a recurring engine event whose period is retuned in place
+// after each tick (SetPeriod), instead of a self-rescheduling closure.
 func (d *AdaptiveMode) Start(eng *sim.Engine, ctrl Controller) {
 	st := &amcState{interval: d.initialCycles, missesAtWin: ctrl.Array().Misses.Value()}
 	if st.interval < 4 {
 		st.interval = 4
 	}
-	var schedule func()
-	schedule = func() {
-		eng.Schedule(st.interval/counterLevels, func() {
-			d.tick(ctrl, st)
-			schedule()
-		})
-	}
-	schedule()
+	var r *sim.Recurring
+	r = eng.ScheduleRecurring(st.interval/counterLevels, func(sim.Cycle) bool {
+		d.tick(ctrl, st)
+		r.SetPeriod(st.interval / counterLevels)
+		return true
+	})
 }
 
 func (d *AdaptiveMode) tick(ctrl Controller, st *amcState) {

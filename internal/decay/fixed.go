@@ -50,9 +50,10 @@ func (d *FixedDecay) globalTickPeriod() sim.Cycle {
 	return p
 }
 
-// Start launches the global-tick scanner for one controller.
+// Start launches the global-tick scanner for one controller as a recurring
+// engine event (one pooled node, no rescheduling churn).
 func (d *FixedDecay) Start(eng *sim.Engine, ctrl Controller) {
-	sim.NewTicker(eng, d.globalTickPeriod(), func(now sim.Cycle) bool {
+	eng.ScheduleRecurring(d.globalTickPeriod(), func(now sim.Cycle) bool {
 		d.TicksRun.Inc()
 		d.tick(ctrl, now)
 		return true

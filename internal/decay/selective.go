@@ -46,9 +46,10 @@ func (d *SelectiveDecay) globalTickPeriod() sim.Cycle {
 	return p
 }
 
-// Start launches the global-tick scanner for one controller.
+// Start launches the global-tick scanner for one controller as a recurring
+// engine event (one pooled node, no rescheduling churn).
 func (d *SelectiveDecay) Start(eng *sim.Engine, ctrl Controller) {
-	sim.NewTicker(eng, d.globalTickPeriod(), func(now sim.Cycle) bool {
+	eng.ScheduleRecurring(d.globalTickPeriod(), func(now sim.Cycle) bool {
 		d.tick(ctrl, now)
 		return true
 	})

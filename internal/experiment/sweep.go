@@ -90,9 +90,15 @@ type Sweep struct {
 // baselineName is the technique label of the always-on runs.
 const baselineName = "baseline"
 
+// runJob executes one configuration; a variable so tests can observe and
+// fail individual jobs.
+var runJob = core.Run
+
 // Run executes the sweep: every (benchmark, size) pair runs the baseline and
 // every requested technique.  Runs execute in parallel up to
-// Options.Parallelism simultaneous simulations.
+// Options.Parallelism simultaneous simulations.  The first failing job
+// cancels the rest of the sweep: queued jobs are not fed, and workers skip
+// any job already in flight toward them.
 func Run(opts Options) (*Sweep, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -125,22 +131,32 @@ func Run(opts Options) (*Sweep, error) {
 		wg       sync.WaitGroup
 		firstErr error
 	)
+	cancel := make(chan struct{}) // closed under mu when firstErr is set
 	jobCh := make(chan job)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					// Drain without simulating: a job may already have been
+					// fed before the failure closed the cancel channel.
+					continue
+				}
 				cfg := opts.Base.
 					WithBenchmark(j.key.Benchmark).
 					WithTotalL2MB(j.key.SizeMB).
 					WithTechnique(j.spec)
 				cfg.WorkloadScale = opts.Scale
 				cfg.Seed = opts.Seed
-				res, err := core.Run(cfg)
+				res, err := runJob(cfg)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("experiment: %s: %w", j.key, err)
+					close(cancel)
 				}
 				if err == nil {
 					sweep.results[j.key] = res
@@ -149,8 +165,13 @@ func Run(opts Options) (*Sweep, error) {
 			}
 		}()
 	}
+feed:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-cancel:
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()

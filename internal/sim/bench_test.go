@@ -1,0 +1,256 @@
+package sim
+
+// Scheduler microbenchmarks.  Each benchmark reports allocations so the
+// timing-wheel win over the previous heap-of-closures engine is measurable:
+// the heapBaseline benchmarks replicate the old kernel (container/heap of
+// heap-allocated closure events) and sit next to the wheel benchmarks that
+// exercise the same schedule shape.  The wheel's steady-state hot path
+// (pre-bound EventFunc, pooled nodes) must stay at 0 allocs/op.
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// --- reference implementation: the previous heap-of-closures engine ------
+
+type baselineEvent struct {
+	when Cycle
+	seq  uint64
+	fn   EventFunc
+}
+
+type baselineHeap []*baselineEvent
+
+func (h baselineHeap) Len() int { return len(h) }
+func (h baselineHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h baselineHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *baselineHeap) Push(x any)   { *h = append(*h, x.(*baselineEvent)) }
+func (h *baselineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type baselineEngine struct {
+	now    Cycle
+	seq    uint64
+	events baselineHeap
+}
+
+func (e *baselineEngine) schedule(delay Cycle, fn EventFunc) {
+	e.seq++
+	heap.Push(&e.events, &baselineEvent{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+func (e *baselineEngine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*baselineEvent)
+	e.now = ev.when
+	ev.fn()
+	return true
+}
+
+// --- schedule+step: the per-hop cost of one cache-latency event ----------
+
+// BenchmarkScheduleStep measures the steady-state schedule-one, run-one
+// cycle with a pre-bound callback — the shape of every cache-latency hop.
+func BenchmarkScheduleStep(b *testing.B) {
+	e := NewEngine()
+	var sink int
+	fn := func() { sink++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(3, fn)
+		e.Step()
+	}
+	if sink != b.N {
+		b.Fatalf("ran %d events, want %d", sink, b.N)
+	}
+}
+
+// BenchmarkScheduleStepHeapBaseline is the same loop on the old engine; the
+// closure per schedule mirrors how every call site used it.
+func BenchmarkScheduleStepHeapBaseline(b *testing.B) {
+	e := &baselineEngine{}
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.schedule(3, func() { sink++ })
+		e.step()
+	}
+	if sink != b.N {
+		b.Fatalf("ran %d events, want %d", sink, b.N)
+	}
+}
+
+// BenchmarkScheduleArgStep measures the pooled-argument path used by the L1
+// load pipeline and the bus completion delivery.
+func BenchmarkScheduleArgStep(b *testing.B) {
+	e := NewEngine()
+	var sink int
+	fn := ArgFunc(func(a any) { sink += a.(int) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	one := any(1) // boxed once; call sites pass pooled pointers
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(2, fn, one)
+		e.Step()
+	}
+	if sink != b.N {
+		b.Fatalf("ran %d events, want %d", sink, b.N)
+	}
+}
+
+// --- dense same-cycle bursts: snoop storms and MSHR wakeups --------------
+
+// BenchmarkSameCycleBurst schedules 64 events on one cycle and drains them,
+// the shape of an MSHR completion waking all merged waiters.
+func BenchmarkSameCycleBurst(b *testing.B) {
+	e := NewEngine()
+	var sink int
+	fn := func() { sink++ }
+	const burst = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			e.Schedule(1, fn)
+		}
+		for j := 0; j < burst; j++ {
+			e.Step()
+		}
+	}
+	if sink != b.N*burst {
+		b.Fatalf("ran %d events, want %d", sink, b.N*burst)
+	}
+}
+
+func BenchmarkSameCycleBurstHeapBaseline(b *testing.B) {
+	e := &baselineEngine{}
+	var sink int
+	const burst = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			e.schedule(1, func() { sink++ })
+		}
+		for j := 0; j < burst; j++ {
+			e.step()
+		}
+	}
+	if sink != b.N*burst {
+		b.Fatalf("ran %d events, want %d", sink, b.N*burst)
+	}
+}
+
+// --- mixed near/far delays: the full simulation delay distribution -------
+
+// mixedDelays mirrors the model's delay distribution: mostly small constants
+// (cache latencies, retry back-offs, bus phases), a ~300-cycle memory round
+// trip, and rare far-future periodic work that overflows the wheel.
+var mixedDelays = [16]Cycle{2, 3, 6, 2, 14, 3, 300, 2, 6, 3, 2, 306, 3, 6, 2, 130000}
+
+// BenchmarkMixedNearFar interleaves the distribution above through the
+// wheel and the overflow heap.
+func BenchmarkMixedNearFar(b *testing.B) {
+	e := NewEngine()
+	var sink int
+	fn := func() { sink++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(mixedDelays[i&15], fn)
+		e.Step()
+	}
+	if sink != b.N {
+		b.Fatalf("ran %d events, want %d", sink, b.N)
+	}
+}
+
+func BenchmarkMixedNearFarHeapBaseline(b *testing.B) {
+	e := &baselineEngine{}
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.schedule(mixedDelays[i&15], func() { sink++ })
+		e.step()
+	}
+	if sink != b.N {
+		b.Fatalf("ran %d events, want %d", sink, b.N)
+	}
+}
+
+// --- recurring ticks: decay global ticks and the thermal sampler ---------
+
+// BenchmarkRecurringTick measures one firing of a recurring event (the
+// node refires in place; the old engine re-scheduled a closure per period).
+func BenchmarkRecurringTick(b *testing.B) {
+	e := NewEngine()
+	var fired int
+	e.ScheduleRecurring(5, func(Cycle) bool {
+		fired++
+		return true
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d times, want %d", fired, b.N)
+	}
+}
+
+func BenchmarkRecurringTickHeapBaseline(b *testing.B) {
+	e := &baselineEngine{}
+	var fired int
+	var fire func()
+	fire = func() {
+		fired++
+		e.schedule(5, fire)
+	}
+	e.schedule(5, fire)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d times, want %d", fired, b.N)
+	}
+}
+
+// BenchmarkFarRecurringTick keeps the period beyond the wheel horizon, so
+// every refire crosses the overflow heap (the decay-tick shape at full
+// paper decay intervals).
+func BenchmarkFarRecurringTick(b *testing.B) {
+	e := NewEngine()
+	var fired int
+	e.ScheduleRecurring(128*1024, func(Cycle) bool {
+		fired++
+		return true
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d times, want %d", fired, b.N)
+	}
+}

@@ -1,16 +1,35 @@
 // Package sim provides a deterministic, single-threaded, event-driven
-// simulation engine used by every timing component of the CMP model.
+// simulation kernel used by every timing component of the CMP model.
 //
-// The engine maintains a global cycle counter and a priority queue of
-// events.  Components schedule callbacks at absolute or relative cycles;
-// events scheduled for the same cycle execute in FIFO order, which makes
-// every simulation run bit-for-bit reproducible for a given seed and
-// configuration.
+// The scheduler is a hierarchical timing wheel specialised to the delay
+// distribution of a cycle-level CMP simulation, where nearly every event
+// is a small constant number of cycles away (cache latencies, MSHR retry
+// back-offs, bus occupancy) and only a handful of periodic services (decay
+// global ticks, the thermal power-trace sampler) live in the far future:
+//
+//   - a fixed-size wheel of wheelSize buckets covers the near horizon
+//     [now, now+wheelSize); insertion and extraction are O(1), with an
+//     occupancy bitmap so finding the next non-empty cycle is a few word
+//     scans rather than a walk over empty buckets;
+//   - an overflow min-heap ordered by (cycle, sequence) holds far-future
+//     events; they migrate into the wheel as the clock advances and the
+//     heap stays tiny (a few periodic events), so its O(log n) cost never
+//     sits on the per-access path;
+//   - event nodes are pooled on an intrusive free list, so steady-state
+//     scheduling performs no allocations;
+//   - Recurring events refire in place, re-inserting the same pooled node
+//     instead of allocating and rescheduling a fresh one each period.
+//
+// The engine maintains a global cycle counter; components schedule
+// callbacks at absolute or relative cycles, and events scheduled for the
+// same cycle execute in FIFO order, which makes every simulation run
+// bit-for-bit reproducible for a given seed and configuration.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Cycle is the simulation time unit.  One Cycle corresponds to one core
@@ -21,30 +40,62 @@ type Cycle uint64
 // is reached.
 type EventFunc func()
 
-// event is a scheduled callback.
+// ArgFunc is a callback that receives the argument it was scheduled with.
+// Pairing one pre-bound ArgFunc with a pooled per-request argument lets
+// hot paths schedule completion events without allocating a closure per
+// request (the argument is typically a pooled pointer, which boxes into
+// the any without allocating).
+type ArgFunc func(arg any)
+
+// event is one scheduled callback.  Nodes are pooled on an intrusive free
+// list owned by the engine and linked through next while queued in a wheel
+// bucket.  Exactly one of fn, afn or rec is set.
 type event struct {
 	when Cycle
-	seq  uint64 // tie-breaker: FIFO among events at the same cycle
+	seq  uint64 // far-heap tie-break: FIFO among far events at the same cycle
+	next *event
 	fn   EventFunc
+	afn  ArgFunc
+	arg  any
+	rec  *Recurring
 }
 
-// eventHeap implements heap.Interface ordered by (when, seq).
-type eventHeap []*event
+const (
+	// wheelBits sizes the near wheel.  1024 cycles comfortably covers every
+	// constant latency in the model (cache hit latencies, retry back-offs,
+	// bus occupancy, the ~300-cycle memory round trip); only decay ticks and
+	// thermal samples overflow to the far heap.
+	wheelBits  = 10
+	wheelSize  = 1 << wheelBits
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64
 
-func (h eventHeap) Len() int { return len(h) }
+	// eventChunk is how many pooled event nodes are allocated at once when
+	// the free list runs dry.
+	eventChunk = 128
+)
 
-func (h eventHeap) Less(i, j int) bool {
+// bucket is one wheel slot: an intrusively linked FIFO of the events due at
+// a single cycle of the near horizon.
+type bucket struct{ head, tail *event }
+
+// farHeap orders far-future events by (when, seq).
+type farHeap []*event
+
+func (h farHeap) Len() int { return len(h) }
+
+func (h farHeap) Less(i, j int) bool {
 	if h[i].when != h[j].when {
 		return h[i].when < h[j].when
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h farHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *farHeap) Push(x any) { *h = append(*h, x.(*event)) }
 
-func (h *eventHeap) Pop() any {
+func (h *farHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -57,9 +108,19 @@ func (h *eventHeap) Pop() any {
 // whole timing model runs on a single goroutine, which is both faster for
 // this workload and required for determinism.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
+	now Cycle
+	// seq tie-breaks far-heap events; it is assigned at insertion time so
+	// heap order follows schedule order within a cycle.
+	seq uint64
+
+	buckets    []bucket // len wheelSize; bucket i holds the horizon cycle ≡ i (mod wheelSize)
+	occ        []uint64 // occupancy bitmap over buckets
+	wheelCount int
+
+	far farHeap
+
+	free *event
+
 	// Executed counts how many events have been dispatched; useful for
 	// progress reporting and for guarding against runaway simulations.
 	Executed uint64
@@ -70,16 +131,130 @@ type Engine struct {
 
 // NewEngine returns an engine at cycle 0 with an empty event queue.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{
+		buckets: make([]bucket, wheelSize),
+		occ:     make([]uint64, wheelWords),
+	}
 }
 
 // Now returns the current simulation cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.wheelCount + len(e.far) }
+
+// alloc pops a pooled event node, refilling the free list in chunks.
+func (e *Engine) alloc() *event {
+	if e.free == nil {
+		chunk := make([]event, eventChunk)
+		for i := 0; i < eventChunk-1; i++ {
+			chunk[i].next = &chunk[i+1]
+		}
+		e.free = &chunk[0]
+	}
+	ev := e.free
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// release returns a node to the pool, dropping callback references so the
+// pool does not retain closures or arguments.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.rec = nil
+	ev.next = e.free
+	e.free = ev
+}
+
+// wheelInsert appends ev to its horizon bucket.  The caller guarantees
+// ev.when-e.now < wheelSize, so each non-empty bucket holds events of
+// exactly one cycle and append order is FIFO order.
+func (e *Engine) wheelInsert(ev *event) {
+	idx := int(ev.when) & wheelMask
+	b := &e.buckets[idx]
+	ev.next = nil
+	if b.tail == nil {
+		b.head = ev
+		e.occ[idx>>6] |= 1 << (uint(idx) & 63)
+	} else {
+		b.tail.next = ev
+	}
+	b.tail = ev
+	e.wheelCount++
+}
+
+// insert routes ev to the wheel or the far heap.
+func (e *Engine) insert(ev *event) {
+	if ev.when-e.now < wheelSize {
+		e.wheelInsert(ev)
+		return
+	}
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.far, ev)
+}
+
+// advanceTo moves the clock to t and migrates far events that entered the
+// near horizon.  Migration pops the heap in (when, seq) order, so events of
+// one cycle land in their bucket in schedule order, ahead of any events
+// scheduled directly once the cycle is within the horizon.
+func (e *Engine) advanceTo(t Cycle) {
+	e.now = t
+	for len(e.far) > 0 && e.far[0].when-t < wheelSize {
+		e.wheelInsert(heap.Pop(&e.far).(*event))
+	}
+}
+
+// scanFrom returns the index of the first non-empty bucket at or after
+// start in circular order.  The caller guarantees wheelCount > 0.
+func (e *Engine) scanFrom(start int) int {
+	w := start >> 6
+	mask := ^uint64(0) << (uint(start) & 63)
+	for i := 0; i <= wheelWords; i++ {
+		if word := e.occ[w] & mask; word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		mask = ^uint64(0)
+		w++
+		if w == wheelWords {
+			w = 0
+		}
+	}
+	panic("sim: occupancy bitmap inconsistent with wheelCount")
+}
+
+// nextTime returns the cycle of the earliest pending event.  Wheel events
+// are always earlier than far events (the far heap only holds cycles at or
+// beyond now+wheelSize), and scanning buckets circularly from now visits
+// horizon cycles in increasing order.
+func (e *Engine) nextTime() (Cycle, bool) {
+	if e.wheelCount > 0 {
+		idx := e.scanFrom(int(e.now) & wheelMask)
+		return e.buckets[idx].head.when, true
+	}
+	if len(e.far) > 0 {
+		return e.far[0].when, true
+	}
+	return 0, false
+}
+
+// popCurrent removes and returns the first event due at the current cycle.
+// The caller guarantees the bucket is non-empty.
+func (e *Engine) popCurrent() *event {
+	idx := int(e.now) & wheelMask
+	b := &e.buckets[idx]
+	ev := b.head
+	b.head = ev.next
+	if b.head == nil {
+		b.tail = nil
+		e.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+	}
+	e.wheelCount--
+	return ev
+}
 
 // Schedule registers fn to run delay cycles from now.  A delay of zero runs
 // fn later in the current cycle, after all previously scheduled events for
@@ -94,26 +269,87 @@ func (e *Engine) ScheduleAt(when Cycle, fn EventFunc) {
 	if fn == nil {
 		panic("sim: ScheduleAt called with nil EventFunc")
 	}
+	e.checkFuture(when)
+	ev := e.alloc()
+	ev.when = when
+	ev.fn = fn
+	e.insert(ev)
+}
+
+// ScheduleArg registers fn to run delay cycles from now with the given
+// argument.  Hot paths pre-bind fn once and pass per-request state through
+// arg (typically a pooled pointer), so scheduling allocates nothing.
+func (e *Engine) ScheduleArg(delay Cycle, fn ArgFunc, arg any) {
+	e.ScheduleArgAt(e.now+delay, fn, arg)
+}
+
+// ScheduleArgAt is ScheduleArg at an absolute cycle.
+func (e *Engine) ScheduleArgAt(when Cycle, fn ArgFunc, arg any) {
+	if fn == nil {
+		panic("sim: ScheduleArgAt called with nil ArgFunc")
+	}
+	e.checkFuture(when)
+	ev := e.alloc()
+	ev.when = when
+	ev.afn = fn
+	ev.arg = arg
+	e.insert(ev)
+}
+
+func (e *Engine) checkFuture(when Cycle) {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: now=%d when=%d", e.now, when))
 	}
-	e.seq++
-	heap.Push(&e.events, &event{when: when, seq: e.seq, fn: fn})
+}
+
+// dispatch runs one dequeued event and recycles its node.  One-shot nodes
+// return to the pool before the callback runs, so callbacks that schedule
+// reuse them immediately; recurring nodes re-insert themselves.
+func (e *Engine) dispatch(ev *event) {
+	if r := ev.rec; r != nil {
+		if r.stopped {
+			r.ev = nil
+			e.release(ev)
+			return
+		}
+		r.Fired++
+		if !r.fn(e.now) {
+			r.stopped = true
+			r.ev = nil
+			e.release(ev)
+			return
+		}
+		ev.when = e.now + r.period
+		e.insert(ev)
+		return
+	}
+	if ev.fn != nil {
+		fn := ev.fn
+		e.release(ev)
+		fn()
+		return
+	}
+	afn, arg := ev.afn, ev.arg
+	e.release(ev)
+	afn(arg)
 }
 
 // Step executes the next event, advancing the clock to its cycle.  It
 // returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	t, ok := e.nextTime()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.when
+	if t > e.now {
+		e.advanceTo(t)
+	}
+	ev := e.popCurrent()
 	e.Executed++
 	if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
 		panic("sim: MaxEvents exceeded")
 	}
-	ev.fn()
+	e.dispatch(ev)
 	return true
 }
 
@@ -126,11 +362,15 @@ func (e *Engine) Run() {
 // RunUntil executes events whose cycle is <= limit.  The clock never
 // advances past limit; events beyond it remain queued.
 func (e *Engine) RunUntil(limit Cycle) {
-	for len(e.events) > 0 && e.events[0].when <= limit {
+	for {
+		t, ok := e.nextTime()
+		if !ok || t > limit {
+			break
+		}
 		e.Step()
 	}
 	if e.now < limit {
-		e.now = limit
+		e.advanceTo(limit)
 	}
 }
 
@@ -139,8 +379,8 @@ func (e *Engine) RunUntil(limit Cycle) {
 // would corrupt the timing model.
 func (e *Engine) Advance(delta Cycle) {
 	target := e.now + delta
-	if len(e.events) > 0 && e.events[0].when < target {
+	if t, ok := e.nextTime(); ok && t < target {
 		panic("sim: Advance would skip pending events")
 	}
-	e.now = target
+	e.advanceTo(target)
 }

@@ -1,20 +1,9 @@
 package sim
 
-// PeriodicFunc is invoked on every period of a Ticker.  Returning false
-// stops the ticker.
-type PeriodicFunc func(now Cycle) bool
-
-// Ticker reschedules a callback every period cycles.  It is used for
-// components that need regular service, such as the decay global counter
-// tick and the thermal power-trace sampler.
-type Ticker struct {
-	eng     *Engine
-	period  Cycle
-	fn      PeriodicFunc
-	stopped bool
-	// Fired counts how many times the callback has run.
-	Fired uint64
-}
+// Ticker is the historical name of the engine's periodic event; it is now
+// an alias of Recurring, which the engine implements natively (one pooled
+// node re-inserted per firing instead of a self-rescheduling callback).
+type Ticker = Recurring
 
 // NewTicker starts a ticker whose first firing is one period from now.
 // A period of zero panics: it would livelock the engine.
@@ -22,26 +11,5 @@ func NewTicker(eng *Engine, period Cycle, fn PeriodicFunc) *Ticker {
 	if period == 0 {
 		panic("sim: Ticker period must be non-zero")
 	}
-	t := &Ticker{eng: eng, period: period, fn: fn}
-	eng.Schedule(period, t.fire)
-	return t
-}
-
-// Stop prevents any further firings.
-func (t *Ticker) Stop() { t.stopped = true }
-
-// Stopped reports whether Stop has been called or the callback returned
-// false.
-func (t *Ticker) Stopped() bool { return t.stopped }
-
-func (t *Ticker) fire() {
-	if t.stopped {
-		return
-	}
-	t.Fired++
-	if !t.fn(t.eng.Now()) {
-		t.stopped = true
-		return
-	}
-	t.eng.Schedule(t.period, t.fire)
+	return eng.ScheduleRecurring(period, fn)
 }
