@@ -1,12 +1,17 @@
 # CI entry points.  `make ci` is the gate: formatting, vet, build, tests,
-# and a short benchmark smoke at a tiny workload scale.
+# the 0-allocs/op hot-path guards, and a short benchmark smoke at a tiny
+# workload scale.
 
 GO ?= go
 BENCH_SCALE ?= 0.005
+# Packages with the scheduler + data-plane microbenchmarks used by
+# bench-baseline / bench-compare.
+BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay
+BENCH_COUNT ?= 5
 
-.PHONY: ci fmt vet build test bench-smoke bench
+.PHONY: ci fmt vet build test test-allocs bench-smoke bench bench-baseline bench-compare
 
-ci: fmt vet build test bench-smoke
+ci: fmt vet build test test-allocs bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -23,6 +28,12 @@ build:
 test:
 	$(GO) test ./...
 
+# test-allocs re-runs the 0-allocs/op guards on the steady-state load-hit,
+# load-miss and decay-tick paths explicitly, so an allocation regression
+# fails CI with a focused message even when the main test run is filtered.
+test-allocs:
+	$(GO) test -count 1 -run 'AllocationFree' ./internal/cache ./internal/core ./internal/decay
+
 # bench-smoke proves the benchmark harness still runs end to end: one
 # iteration of the scheduler microbenchmarks and one reduced-scale
 # simulation per technique.
@@ -34,3 +45,24 @@ bench-smoke:
 # bench runs the full figure-regeneration benchmarks at the default scale.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-baseline records the microbenchmark numbers of the current tree
+# (run it on the commit you want to compare against); bench-compare reruns
+# them and reports old vs new — through benchstat when it is installed,
+# falling back to the raw numbers side by side.
+bench-baseline:
+	@mkdir -p .bench
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) | tee .bench/old.txt
+
+bench-compare:
+	@mkdir -p .bench
+	@test -f .bench/old.txt || { \
+		echo "no .bench/old.txt — run 'make bench-baseline' on the baseline commit first"; exit 1; }
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) | tee .bench/new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat .bench/old.txt .bench/new.txt; \
+	else \
+		echo "--- benchstat not installed; raw results ---"; \
+		echo "== old =="; grep '^Benchmark' .bench/old.txt; \
+		echo "== new =="; grep '^Benchmark' .bench/new.txt; \
+	fi

@@ -9,10 +9,16 @@
 // internal/decay.  What lives here is the mechanics: tag lookup, victim
 // selection, LRU maintenance, and exact integration of powered-on cycles so
 // the occupation-rate metric of the paper (Figure 3a) can be computed.
+//
+// Storage is a single flat backing array indexed by set*assoc+way (sets are
+// a power of two, so the set index is a shift and mask of the address): no
+// per-set slice headers, no pointer chasing on the access path, and the
+// decay techniques can stripe their scans over plain integer indices.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cmpleak/internal/mem"
 	"cmpleak/internal/sim"
@@ -78,8 +84,6 @@ type Line struct {
 	// Powered reports whether the SRAM cells of this line are connected to
 	// the supply rail (Gated-Vdd on = powered).
 	Powered bool
-	// poweredSince is the cycle at which the line was last powered on.
-	poweredSince sim.Cycle
 	// LastTouch is the cycle of the last access (used by decay).
 	LastTouch sim.Cycle
 	// DecayCounter is the per-line hierarchical counter (2-bit in the
@@ -90,18 +94,29 @@ type Line struct {
 	DecayArmed bool
 }
 
-// Cache is a set-associative array.
+// Cache is a set-associative array over a single flat backing store.
 type Cache struct {
-	cfg  Config
-	sets [][]Line
-	// lruStamp holds a per-way recency stamp per set; higher is more recent.
-	lruStamp [][]uint64
+	cfg     Config
+	assoc   int
+	numSets int
+	// lineShift and setMask turn an address into a set index with one shift
+	// and one mask (LineBytes and the set count are powers of two).
+	lineShift uint
+	setMask   uint64
+
+	// lines and lruStamp are flat arrays indexed by set*assoc+way.
+	lines    []Line
+	lruStamp []uint64
 	stampClk uint64
 
-	// onCycles integrates line-cycles spent powered on.
-	onCycles uint64
-	// poweredLines is the number of lines currently powered.
+	// Powered-cycle integration is kept as an aggregate updated at every
+	// power transition: onCycles is exact up to lastPowerAdv, and
+	// poweredLines lines have been on since then.  This makes OnCycles O(1)
+	// instead of a walk over the array (it is called from the thermal
+	// sampler every 10k cycles, on 8 MB banks in the largest sweeps).
+	onCycles     uint64
 	poweredLines int
+	lastPowerAdv sim.Cycle
 
 	// Statistics.
 	Hits       stats.Counter
@@ -116,13 +131,14 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{cfg: cfg}
-	sets := cfg.NumSets()
-	c.sets = make([][]Line, sets)
-	c.lruStamp = make([][]uint64, sets)
-	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Assoc)
-		c.lruStamp[i] = make([]uint64, cfg.Assoc)
+	c := &Cache{
+		cfg:       cfg,
+		assoc:     cfg.Assoc,
+		numSets:   cfg.NumSets(),
+		lineShift: uint(bits.TrailingZeros64(cfg.LineBytes)),
+		setMask:   uint64(cfg.NumSets() - 1),
+		lines:     make([]Line, cfg.NumLines()),
+		lruStamp:  make([]uint64, cfg.NumLines()),
 	}
 	return c, nil
 }
@@ -140,11 +156,23 @@ func MustNew(cfg Config) *Cache {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Assoc returns the associativity (the way stride of the flat array).
+func (c *Cache) Assoc() int { return c.assoc }
+
+// NumLines returns the total number of lines.
+func (c *Cache) NumLines() int { return len(c.lines) }
+
 // SetIndex returns the set index for an address.
 func (c *Cache) SetIndex(a mem.Addr) int {
-	block := uint64(a) / c.cfg.LineBytes
-	return int(block % uint64(len(c.sets)))
+	return int((uint64(a) >> c.lineShift) & c.setMask)
 }
+
+// LineIndex returns the flat-array index of (set, way).
+func (c *Cache) LineIndex(set, way int) int { return set*c.assoc + way }
+
+// LineAt returns a pointer to the line at a flat index (see LineIndex);
+// the decay scanners iterate the array directly through it.
+func (c *Cache) LineAt(idx int) *Line { return &c.lines[idx] }
 
 // blockAddr returns the block-aligned address.
 func (c *Cache) blockAddr(a mem.Addr) mem.Addr {
@@ -158,8 +186,9 @@ func (c *Cache) blockAddr(a mem.Addr) mem.Addr {
 func (c *Cache) Lookup(a mem.Addr) (set, way int, found bool) {
 	set = c.SetIndex(a)
 	tag := c.blockAddr(a)
-	for w := range c.sets[set] {
-		ln := &c.sets[set][w]
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		ln := &c.lines[base+w]
 		if ln.Valid && ln.Tag == tag {
 			return set, w, true
 		}
@@ -168,27 +197,29 @@ func (c *Cache) Lookup(a mem.Addr) (set, way int, found bool) {
 }
 
 // Line returns a pointer to the line at (set, way).
-func (c *Cache) Line(set, way int) *Line { return &c.sets[set][way] }
+func (c *Cache) Line(set, way int) *Line { return &c.lines[set*c.assoc+way] }
 
 // Touch marks (set, way) as most recently used and records the access time.
 func (c *Cache) Touch(set, way int, now sim.Cycle) {
+	idx := set*c.assoc + way
 	c.stampClk++
-	c.lruStamp[set][way] = c.stampClk
-	c.sets[set][way].LastTouch = now
+	c.lruStamp[idx] = c.stampClk
+	c.lines[idx].LastTouch = now
 }
 
 // Victim returns the way to replace in set: an invalid way if one exists,
 // otherwise the least recently used way.
 func (c *Cache) Victim(set int) int {
+	base := set * c.assoc
 	bestWay := 0
 	var bestStamp uint64
 	first := true
-	for w := range c.sets[set] {
-		if !c.sets[set][w].Valid {
+	for w := 0; w < c.assoc; w++ {
+		if !c.lines[base+w].Valid {
 			return w
 		}
-		if first || c.lruStamp[set][w] < bestStamp {
-			bestWay, bestStamp = w, c.lruStamp[set][w]
+		if first || c.lruStamp[base+w] < bestStamp {
+			bestWay, bestStamp = w, c.lruStamp[base+w]
 			first = false
 		}
 	}
@@ -199,7 +230,7 @@ func (c *Cache) Victim(set int) int {
 // and most recently used.  The previous occupant must already have been
 // handled (written back / invalidated) by the caller.
 func (c *Cache) Install(a mem.Addr, set, way int, now sim.Cycle) *Line {
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.assoc+way]
 	ln.Tag = c.blockAddr(a)
 	ln.Valid = true
 	ln.Dirty = false
@@ -214,40 +245,52 @@ func (c *Cache) Install(a mem.Addr, set, way int, now sim.Cycle) *Line {
 // Invalidate clears the valid bit of (set, way).  Power state is untouched;
 // the leakage technique decides whether invalidation implies gating.
 func (c *Cache) Invalidate(set, way int) {
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.assoc+way]
 	ln.Valid = false
 	ln.Dirty = false
 	ln.DecayCounter = 0
 	ln.DecayArmed = false
 }
 
+// advancePower brings the powered-cycle aggregate up to cycle now.  Called
+// before every power transition so the (poweredLines × elapsed) term is
+// integrated piecewise-exactly.
+func (c *Cache) advancePower(now sim.Cycle) {
+	if now > c.lastPowerAdv {
+		c.onCycles += uint64(c.poweredLines) * uint64(now-c.lastPowerAdv)
+		c.lastPowerAdv = now
+	}
+}
+
 // PowerOn connects (set, way) to the supply rail at cycle now.
 func (c *Cache) PowerOn(set, way int, now sim.Cycle) {
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.assoc+way]
 	if ln.Powered {
 		return
 	}
+	c.advancePower(now)
 	ln.Powered = true
-	ln.poweredSince = now
 	c.poweredLines++
 }
 
-// PowerOff gates (set, way) at cycle now and accumulates its on-time.
+// PowerOff gates (set, way) at cycle now.
 func (c *Cache) PowerOff(set, way int, now sim.Cycle) {
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.assoc+way]
 	if !ln.Powered {
 		return
 	}
-	c.onCycles += uint64(now - ln.poweredSince)
+	c.advancePower(now)
 	ln.Powered = false
 	c.poweredLines--
 }
 
 // PowerOnAll powers every line; used by the always-on baseline.
 func (c *Cache) PowerOnAll(now sim.Cycle) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.PowerOn(s, w, now)
+	c.advancePower(now)
+	for i := range c.lines {
+		if !c.lines[i].Powered {
+			c.lines[i].Powered = true
+			c.poweredLines++
 		}
 	}
 }
@@ -256,16 +299,12 @@ func (c *Cache) PowerOnAll(now sim.Cycle) {
 func (c *Cache) PoweredLines() int { return c.poweredLines }
 
 // OnCycles returns the integral of powered line-cycles up to cycle now,
-// including lines that are still powered.
+// including lines that are still powered.  O(1): the aggregate is advanced
+// incrementally at each power transition.
 func (c *Cache) OnCycles(now sim.Cycle) uint64 {
 	total := c.onCycles
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			ln := &c.sets[s][w]
-			if ln.Powered {
-				total += uint64(now - ln.poweredSince)
-			}
-		}
+	if now > c.lastPowerAdv {
+		total += uint64(c.poweredLines) * uint64(now-c.lastPowerAdv)
 	}
 	return total
 }
@@ -283,9 +322,11 @@ func (c *Cache) OccupationRate(elapsed sim.Cycle) float64 {
 
 // ForEachLine invokes fn for every line with its set and way indices.
 func (c *Cache) ForEachLine(fn func(set, way int, ln *Line)) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			fn(s, w, &c.sets[s][w])
+	idx := 0
+	for s := 0; s < c.numSets; s++ {
+		for w := 0; w < c.assoc; w++ {
+			fn(s, w, &c.lines[idx])
+			idx++
 		}
 	}
 }
@@ -302,6 +343,10 @@ func (c *Cache) ForEachValid(fn func(set, way int, ln *Line)) {
 // CountValid returns how many lines are valid.
 func (c *Cache) CountValid() int {
 	n := 0
-	c.ForEachValid(func(int, int, *Line) { n++ })
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
 	return n
 }

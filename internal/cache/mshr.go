@@ -2,35 +2,58 @@ package cache
 
 import (
 	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
 	"cmpleak/internal/stats"
 )
 
+// DoneFunc is the completion callback threaded through the memory
+// hierarchy: arg is whatever request state the caller registered (typically
+// a pooled record, or nil), block is the block address the completion is
+// for.  Controllers pre-bind one DoneFunc per continuation kind at
+// construction and pass per-request state through arg, so the steady-state
+// miss path schedules completions without allocating a closure per miss.
+type DoneFunc func(arg any, block mem.Addr)
+
+// Waiter is one merged request parked on an MSHR entry.  Nodes are pooled
+// on an intrusive free list owned by the MSHR; after the fill arrives they
+// double as the argument of the scheduled delivery event and return to the
+// pool when it fires.
+type Waiter struct {
+	fn    DoneFunc
+	arg   any
+	block mem.Addr
+	next  *Waiter
+}
+
 // MSHREntry tracks one outstanding miss: the block it targets and the
-// callbacks to invoke when the fill arrives.  Secondary misses to the same
-// block merge onto the entry instead of issuing new requests (hits under a
-// pending miss, as in the paper's Figure 1).
+// merged requests waiting for the fill.  Secondary misses to the same block
+// merge onto the entry instead of issuing new requests (hits under a
+// pending miss, as in the paper's Figure 1).  Entries are pooled.
 type MSHREntry struct {
 	Block mem.Addr
 	// IsWrite records whether any merged request needs write permission,
 	// which the coherence layer uses to upgrade BusRd into BusRdX.
 	IsWrite bool
-	waiters []func()
-}
 
-// AddWaiter appends a completion callback to the entry.
-func (e *MSHREntry) AddWaiter(fn func()) {
-	if fn != nil {
-		e.waiters = append(e.waiters, fn)
-	}
+	whead, wtail *Waiter
+	nwait        int
+	next         *MSHREntry // free-list link
 }
 
 // Waiters returns the number of merged requests.
-func (e *MSHREntry) Waiters() int { return len(e.waiters) }
+func (e *MSHREntry) Waiters() int { return e.nwait }
 
 // MSHR is a set of miss-status holding registers with request merging.
+// Entry and waiter records are pooled, so a steady-state miss allocates
+// nothing.
 type MSHR struct {
 	capacity int
 	entries  map[mem.Addr]*MSHREntry
+
+	freeEntries *MSHREntry
+	freeWaiters *Waiter
+	// deliverFn is the pre-bound engine callback that fires one waiter.
+	deliverFn sim.ArgFunc
 
 	// Statistics.
 	Allocations stats.Counter
@@ -42,7 +65,9 @@ type MSHR struct {
 // NewMSHR builds an MSHR with the given number of entries; capacity <= 0
 // means unlimited.
 func NewMSHR(capacity int) *MSHR {
-	return &MSHR{capacity: capacity, entries: make(map[mem.Addr]*MSHREntry)}
+	m := &MSHR{capacity: capacity, entries: make(map[mem.Addr]*MSHREntry)}
+	m.deliverFn = m.deliver
+	return m
 }
 
 // Lookup returns the entry for block, if any.
@@ -69,7 +94,14 @@ func (m *MSHR) Allocate(block mem.Addr, isWrite bool) (*MSHREntry, bool) {
 		m.FullStalls.Inc()
 		return nil, false
 	}
-	e := &MSHREntry{Block: block, IsWrite: isWrite}
+	e := m.freeEntries
+	if e == nil {
+		e = &MSHREntry{}
+	} else {
+		m.freeEntries = e.next
+	}
+	e.Block, e.IsWrite = block, isWrite
+	e.whead, e.wtail, e.nwait, e.next = nil, nil, 0, nil
 	m.entries[block] = e
 	m.Allocations.Inc()
 	if len(m.entries) > m.peak {
@@ -78,15 +110,77 @@ func (m *MSHR) Allocate(block mem.Addr, isWrite bool) (*MSHREntry, bool) {
 	return e, true
 }
 
-// Complete removes the entry for block and returns its callbacks so the
-// controller can fire them after installing the fill.
-func (m *MSHR) Complete(block mem.Addr) []func() {
+// newWaiter pops a pooled waiter node.
+func (m *MSHR) newWaiter(fn DoneFunc, arg any) *Waiter {
+	w := m.freeWaiters
+	if w == nil {
+		w = &Waiter{}
+	} else {
+		m.freeWaiters = w.next
+	}
+	w.fn, w.arg, w.next = fn, arg, nil
+	return w
+}
+
+// AddWaiter parks a completion on the entry.  A nil fn is ignored.
+func (m *MSHR) AddWaiter(e *MSHREntry, fn DoneFunc, arg any) {
+	if fn == nil {
+		return
+	}
+	w := m.newWaiter(fn, arg)
+	if e.wtail == nil {
+		e.whead = w
+	} else {
+		e.wtail.next = w
+	}
+	e.wtail = w
+	e.nwait++
+}
+
+// deliver fires one waiter: the node is recycled first so the callback can
+// immediately reuse it (e.g. by re-missing on the same MSHR).
+func (m *MSHR) deliver(a any) {
+	w := a.(*Waiter)
+	fn, arg, block := w.fn, w.arg, w.block
+	w.fn, w.arg = nil, nil
+	w.next = m.freeWaiters
+	m.freeWaiters = w
+	fn(arg, block)
+}
+
+// CompleteDeliver removes the entry for block and schedules every merged
+// waiter to fire latency cycles from now, in merge order (FIFO).  It
+// returns how many waiters were scheduled; 0 when no entry exists.
+func (m *MSHR) CompleteDeliver(block mem.Addr, eng *sim.Engine, latency sim.Cycle) int {
 	e, ok := m.entries[block]
 	if !ok {
-		return nil
+		return 0
 	}
 	delete(m.entries, block)
-	return e.waiters
+	n := e.nwait
+	for w := e.whead; w != nil; {
+		next := w.next
+		w.next = nil
+		w.block = block
+		eng.ScheduleArg(latency, m.deliverFn, w)
+		w = next
+	}
+	e.whead, e.wtail, e.nwait = nil, nil, 0
+	e.next = m.freeEntries
+	m.freeEntries = e
+	return n
+}
+
+// ScheduleDone delivers (fn, arg, block) after latency cycles through the
+// same pooled records the merged waiters use — the hit-path twin of
+// CompleteDeliver.  A nil fn is a no-op.
+func (m *MSHR) ScheduleDone(eng *sim.Engine, latency sim.Cycle, fn DoneFunc, arg any, block mem.Addr) {
+	if fn == nil {
+		return
+	}
+	w := m.newWaiter(fn, arg)
+	w.block = block
+	eng.ScheduleArg(latency, m.deliverFn, w)
 }
 
 // Outstanding returns the number of in-flight misses.

@@ -81,6 +81,12 @@ type Snooper interface {
 	Snoop(txn Transaction) SnoopResponse
 }
 
+// ResultFunc is the completion callback of a bus transaction.  It receives
+// the transaction it was issued for (so a pre-bound callback can recover
+// the block without a per-miss closure) and the requester's arg verbatim
+// (pooled per-request state, or nil when the transaction alone suffices).
+type ResultFunc func(arg any, txn Transaction, res BusResult)
+
 // BusResult is delivered to the requester when its transaction completes.
 type BusResult struct {
 	// Latency is the total cycles from Issue to data/completion.
@@ -161,10 +167,12 @@ func NewBus(eng *sim.Engine, memory *mem.Memory, cfg BusConfig) *Bus {
 	return b
 }
 
-// busCompletion carries one transaction's callback and result to its
-// delivery cycle; records are pooled on an intrusive free list.
+// busCompletion carries one transaction's callback, transaction and result
+// to its delivery cycle; records are pooled on an intrusive free list.
 type busCompletion struct {
-	done func(BusResult)
+	done ResultFunc
+	arg  any
+	txn  Transaction
 	res  BusResult
 	next *busCompletion
 }
@@ -172,11 +180,11 @@ type busCompletion struct {
 // complete delivers a pooled completion (the engine-facing ArgFunc).
 func (b *Bus) complete(a any) {
 	c := a.(*busCompletion)
-	done, res := c.done, c.res
-	c.done = nil
+	done, arg, txn, res := c.done, c.arg, c.txn, c.res
+	c.done, c.arg = nil, nil
 	c.next = b.freeComp
 	b.freeComp = c
-	done(res)
+	done(arg, txn, res)
 }
 
 // Config returns the bus configuration.
@@ -199,10 +207,11 @@ func (b *Bus) dataCycles() sim.Cycle {
 }
 
 // Issue places a transaction on the bus.  The done callback receives the
-// result when the transaction completes (data available for reads, accepted
-// for write-backs and upgrades).  Issue returns the completion latency so
-// synchronous callers can also use it.
-func (b *Bus) Issue(txn Transaction, done func(BusResult)) sim.Cycle {
+// transaction and result when it completes (data available for reads,
+// accepted for write-backs and upgrades); arg is handed back to done
+// verbatim.  Issue returns the completion latency so synchronous callers
+// can also use it.
+func (b *Bus) Issue(txn Transaction, done ResultFunc, arg any) sim.Cycle {
 	now := b.eng.Now()
 	start := now + b.cfg.ArbitrationCycles
 	if b.busyUntil > start {
@@ -268,7 +277,7 @@ func (b *Bus) Issue(txn Transaction, done func(BusResult)) sim.Cycle {
 		} else {
 			b.freeComp = c.next
 		}
-		c.done, c.res, c.next = done, result, nil
+		c.done, c.arg, c.txn, c.res, c.next = done, arg, txn, result, nil
 		b.eng.ScheduleArg(total, b.completeFn, c)
 	}
 	return total

@@ -35,10 +35,10 @@ func TestBusReadFromMemory(t *testing.T) {
 	)
 	var res BusResult
 	gotResult := false
-	b.Issue(Transaction{Kind: BusRd, Block: 0x1000, Requester: 0}, func(r BusResult) {
+	b.Issue(Transaction{Kind: BusRd, Block: 0x1000, Requester: 0}, func(_ any, _ Transaction, r BusResult) {
 		res = r
 		gotResult = true
-	})
+	}, nil)
 	eng.Run()
 	if !gotResult {
 		t.Fatal("completion callback never fired")
@@ -64,7 +64,7 @@ func TestBusSnoopSkipsRequester(t *testing.T) {
 	other := &fakeSnooper{id: 1}
 	b.Attach(self)
 	b.Attach(other)
-	b.Issue(Transaction{Kind: BusRd, Block: 0x40, Requester: 0}, nil)
+	b.Issue(Transaction{Kind: BusRd, Block: 0x40, Requester: 0}, nil, nil)
 	eng.Run()
 	if len(self.seen) != 0 {
 		t.Fatal("requester snooped its own transaction")
@@ -85,7 +85,7 @@ func TestBusDirtySnoopUsesCacheToCache(t *testing.T) {
 	owner := &fakeSnooper{id: 1, response: SnoopResponse{Shared: true, Dirty: true}}
 	b.Attach(owner)
 	var res BusResult
-	b.Issue(Transaction{Kind: BusRd, Block: 0x80, Requester: 0}, func(r BusResult) { res = r })
+	b.Issue(Transaction{Kind: BusRd, Block: 0x80, Requester: 0}, func(_ any, _ Transaction, r BusResult) { res = r }, nil)
 	eng.Run()
 	if res.FromMemory {
 		t.Fatal("dirty snoop should not be served by memory read")
@@ -114,7 +114,7 @@ func TestBusUpgradeIsAddressOnly(t *testing.T) {
 		mem.DefaultConfig(),
 	)
 	var res BusResult
-	b.Issue(Transaction{Kind: BusUpgr, Block: 0x100, Requester: 0}, func(r BusResult) { res = r })
+	b.Issue(Transaction{Kind: BusUpgr, Block: 0x100, Requester: 0}, func(_ any, _ Transaction, r BusResult) { res = r }, nil)
 	eng.Run()
 	if res.Latency != 4 {
 		t.Fatalf("upgrade latency %d, want 4 (arb+addr)", res.Latency)
@@ -132,7 +132,7 @@ func TestBusUpgradeIsAddressOnly(t *testing.T) {
 
 func TestBusWriteBackGoesToMemory(t *testing.T) {
 	eng, m, b := newBusUnderTest(DefaultBusConfig(), mem.DefaultConfig())
-	b.Issue(Transaction{Kind: WriteBack, Block: 0x200, Requester: 2}, nil)
+	b.Issue(Transaction{Kind: WriteBack, Block: 0x200, Requester: 2}, nil, nil)
 	eng.Run()
 	if m.Writes.Value() != 1 {
 		t.Fatal("write-back did not reach memory")
@@ -147,8 +147,8 @@ func TestBusSerializesTransactions(t *testing.T) {
 		BusConfig{ArbitrationCycles: 2, AddressCycles: 2, BytesPerCycle: 16, BlockBytes: 64},
 		mem.Config{LatencyCycles: 10, BandwidthBytesPerCycle: 64, BlockSize: 64},
 	)
-	lat1 := b.Issue(Transaction{Kind: BusUpgr, Block: 0x40, Requester: 0}, nil)
-	lat2 := b.Issue(Transaction{Kind: BusUpgr, Block: 0x80, Requester: 1}, nil)
+	lat1 := b.Issue(Transaction{Kind: BusUpgr, Block: 0x40, Requester: 0}, nil, nil)
+	lat2 := b.Issue(Transaction{Kind: BusUpgr, Block: 0x80, Requester: 1}, nil, nil)
 	eng.Run()
 	if lat2 <= lat1 {
 		t.Fatalf("second transaction (%d) should wait for the first (%d)", lat2, lat1)
@@ -160,7 +160,7 @@ func TestBusSerializesTransactions(t *testing.T) {
 
 func TestBusUtilization(t *testing.T) {
 	eng, _, b := newBusUnderTest(DefaultBusConfig(), mem.DefaultConfig())
-	b.Issue(Transaction{Kind: BusRd, Block: 0x40, Requester: 0}, nil)
+	b.Issue(Transaction{Kind: BusRd, Block: 0x40, Requester: 0}, nil, nil)
 	eng.Run()
 	u := b.Utilization(1000)
 	if u <= 0 || u > 1 {

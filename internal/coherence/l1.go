@@ -8,13 +8,15 @@ import (
 )
 
 // LowerLevel is the processor-side interface the private L2 controller
-// exposes to its L1 (PrRd / PrWr in the Figure 2 edge labels).  The done
-// callbacks fire when the L2 has serviced the request.
+// exposes to its L1 (PrRd / PrWr in the Figure 2 edge labels).  Completions
+// use the pre-bound (done, arg) convention of cache.DoneFunc: the L2 hands
+// arg back verbatim along with the block serviced, so neither side builds a
+// closure per request.
 type LowerLevel interface {
 	// Read requests the block on behalf of an L1 load miss.
-	Read(block mem.Addr, done func())
+	Read(block mem.Addr, done cache.DoneFunc, arg any)
 	// Write propagates a write-through store to the L2.
-	Write(block mem.Addr, done func())
+	Write(block mem.Addr, done cache.DoneFunc, arg any)
 }
 
 // L1Config parameterises one private L1 data cache.
@@ -62,17 +64,23 @@ type L1Controller struct {
 
 	draining bool
 	// stalledStores queues stores that found the write buffer full; they
-	// are admitted in order as drains free slots (no polling).
+	// are admitted in FIFO order as drains free slots (no polling).  The
+	// slice is consumed through stalledHead and compacted when it empties,
+	// so neither the backing array nor the pinned done closures of consumed
+	// entries are retained.
 	stalledStores []pendingStore
+	stalledHead   int
 
 	// freeReqs pools per-load request records; together with the pre-bound
-	// callbacks below they keep the load hit path and the drain loop free of
-	// per-event allocations.
-	freeReqs     *loadReq
-	finishLoadFn sim.ArgFunc
-	retryFillFn  sim.ArgFunc
-	drainDoneFn  func()
-	startDrainFn sim.EventFunc
+	// callbacks below they keep the whole load path — hit, miss, MSHR merge
+	// and L2 fill — free of per-event allocations.
+	freeReqs       *loadReq
+	finishLoadFn   sim.ArgFunc
+	retryFillFn    sim.ArgFunc
+	finishLoadDone cache.DoneFunc
+	fillDone       cache.DoneFunc
+	drainDoneFn    cache.DoneFunc
+	startDrainFn   sim.EventFunc
 
 	// Statistics.
 	Loads            stats.Counter
@@ -110,7 +118,9 @@ func NewL1Controller(id int, eng *sim.Engine, cfg L1Config) (*L1Controller, erro
 	}
 	l.finishLoadFn = func(a any) { l.finishLoad(a.(*loadReq)) }
 	l.retryFillFn = func(a any) { l.requestFill(a.(*loadReq)) }
-	l.drainDoneFn = l.drainDone
+	l.finishLoadDone = func(a any, _ mem.Addr) { l.finishLoad(a.(*loadReq)) }
+	l.fillDone = func(_ any, block mem.Addr) { l.fill(block) }
+	l.drainDoneFn = func(any, mem.Addr) { l.drainDone() }
 	l.startDrainFn = l.startDrain
 	return l, nil
 }
@@ -187,7 +197,8 @@ func (l *L1Controller) Read(a mem.Addr, done func()) {
 }
 
 // requestFill allocates an MSHR entry (retrying while full) and, for primary
-// misses, asks the L2 for the block.
+// misses, asks the L2 for the block.  The waiter and the L2 request both use
+// pre-bound callbacks with pooled records: no closures per miss.
 func (l *L1Controller) requestFill(req *loadReq) {
 	block := l.block(req.addr)
 	entry, isNew := l.mshr.Allocate(block, false)
@@ -197,11 +208,11 @@ func (l *L1Controller) requestFill(req *loadReq) {
 		l.eng.ScheduleArg(l.cfg.RetryCycles, l.retryFillFn, req)
 		return
 	}
-	entry.AddWaiter(func() { l.finishLoad(req) })
+	l.mshr.AddWaiter(entry, l.finishLoadDone, req)
 	if !isNew {
 		return
 	}
-	l.below.Read(block, func() { l.fill(block) })
+	l.below.Read(block, l.fillDone, nil)
 }
 
 // fill installs a block returned by the L2 and wakes all merged waiters.
@@ -220,10 +231,8 @@ func (l *L1Controller) fill(block mem.Addr) {
 	} else {
 		l.cache.Touch(set, way, now)
 	}
-	for _, w := range l.mshr.Complete(block) {
-		// Waiters observe the L1 hit latency on top of the fill.
-		l.eng.Schedule(l.cfg.Cache.Latency(), w)
-	}
+	// Waiters observe the L1 hit latency on top of the fill.
+	l.mshr.CompleteDeliver(block, l.eng, l.cfg.Cache.Latency())
 }
 
 // Write services a store.  The L1 is write-through no-write-allocate: the
@@ -275,16 +284,40 @@ func (l *L1Controller) acceptStore(start sim.Cycle, done func()) {
 }
 
 // admitStalledStores moves queued stores into the write buffer while space
-// is available.
+// is available, oldest first.  Consumed slots are zeroed immediately so the
+// done closures are not pinned, and the backing array is reclaimed both
+// when the queue empties and — so that a queue which never fully drains
+// under sustained pressure cannot grow without bound — whenever the
+// consumed prefix reaches half of a non-trivial backing array.
 func (l *L1Controller) admitStalledStores() {
-	for len(l.stalledStores) > 0 {
-		ps := l.stalledStores[0]
+	for l.stalledHead < len(l.stalledStores) {
+		ps := l.stalledStores[l.stalledHead]
 		if !l.wb.Push(ps.block) {
+			l.compactStalledStores()
 			return
 		}
-		l.stalledStores = l.stalledStores[1:]
+		l.stalledStores[l.stalledHead] = pendingStore{}
+		l.stalledHead++
 		l.acceptStore(ps.start, ps.done)
 	}
+	l.stalledStores = l.stalledStores[:0]
+	l.stalledHead = 0
+}
+
+// compactStalledStores slides the live entries to the front of the backing
+// array once the zeroed prefix dominates it, bounding the queue's footprint
+// by O(live entries) instead of O(stalls ever observed).
+func (l *L1Controller) compactStalledStores() {
+	if l.stalledHead < 16 || l.stalledHead*2 < len(l.stalledStores) {
+		return
+	}
+	n := copy(l.stalledStores, l.stalledStores[l.stalledHead:])
+	tail := l.stalledStores[n:]
+	for i := range tail {
+		tail[i] = pendingStore{}
+	}
+	l.stalledStores = l.stalledStores[:n]
+	l.stalledHead = 0
 }
 
 // startDrain begins (or continues) propagating buffered stores to the L2.
@@ -300,7 +333,7 @@ func (l *L1Controller) startDrain() {
 	// so their acceptance latency is not inflated by the L2 round trip.
 	l.admitStalledStores()
 	l.draining = true
-	l.below.Write(block, l.drainDoneFn)
+	l.below.Write(block, l.drainDoneFn, nil)
 }
 
 // drainDone resumes the drain loop after the L2 accepts a buffered store.

@@ -3,6 +3,7 @@ package coherence
 import (
 	"testing"
 
+	"cmpleak/internal/cache"
 	"cmpleak/internal/mem"
 	"cmpleak/internal/sim"
 )
@@ -17,14 +18,18 @@ type fakeL2 struct {
 	writes       []mem.Addr
 }
 
-func (f *fakeL2) Read(block mem.Addr, done func()) {
+func (f *fakeL2) Read(block mem.Addr, done cache.DoneFunc, arg any) {
 	f.reads = append(f.reads, block)
-	f.eng.Schedule(f.readLatency, done)
+	if done != nil {
+		f.eng.Schedule(f.readLatency, func() { done(arg, block) })
+	}
 }
 
-func (f *fakeL2) Write(block mem.Addr, done func()) {
+func (f *fakeL2) Write(block mem.Addr, done cache.DoneFunc, arg any) {
 	f.writes = append(f.writes, block)
-	f.eng.Schedule(f.writeLatency, done)
+	if done != nil {
+		f.eng.Schedule(f.writeLatency, func() { done(arg, block) })
+	}
 }
 
 func newL1UnderTest(t *testing.T) (*sim.Engine, *fakeL2, *L1Controller) {
@@ -197,6 +202,124 @@ func TestL1RejectsBadConfig(t *testing.T) {
 	cfg.Cache.LineBytes = 48
 	if _, err := NewL1Controller(0, eng, cfg); err == nil {
 		t.Fatal("invalid cache geometry accepted")
+	}
+}
+
+// Stores that found the write buffer full must be admitted in FIFO order as
+// drains free slots, with their done callbacks and acceptance delays
+// reflecting that order — the contract of the head-indexed stall queue.
+func TestL1StalledStoresAdmittedFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	l2 := &fakeL2{eng: eng, readLatency: 20, writeLatency: 200}
+	cfg := DefaultL1Config("L1-fifo")
+	cfg.WriteBufferSlots = 2
+	l1, err := NewL1Controller(0, eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1.SetLowerLevel(l2)
+
+	const stores = 6
+	var accepted []int
+	blocks := make([]mem.Addr, stores)
+	for i := 0; i < stores; i++ {
+		i := i
+		blocks[i] = mem.Addr(0x7000 + i*64)
+		l1.Write(blocks[i], func() { accepted = append(accepted, i) })
+	}
+	if l1.RetryEvents.Value() == 0 {
+		t.Fatal("fixture broken: no store ever stalled on a full write buffer")
+	}
+	eng.Run()
+
+	if len(accepted) != stores {
+		t.Fatalf("%d stores completed, want %d", len(accepted), stores)
+	}
+	for i, v := range accepted {
+		if v != i {
+			t.Fatalf("stores accepted out of order: %v", accepted)
+		}
+	}
+	if got := l2.writes; len(got) != stores {
+		t.Fatalf("L2 saw %d writes, want %d", len(got), stores)
+	}
+	for i, b := range l2.writes {
+		if b != blocks[i] {
+			t.Fatalf("drain order %v, want FIFO block order %v", l2.writes, blocks)
+		}
+	}
+	if n := l1.StoreAcceptDelay.Count(); n != stores {
+		t.Fatalf("acceptance delay observations %d, want %d", n, stores)
+	}
+	// Later stores waited at least as long as earlier ones.
+	if l1.StoreAcceptDelay.Max() == 0 {
+		t.Fatal("stalled stores recorded zero acceptance delay")
+	}
+}
+
+// Under sustained pressure the stall queue churns (one admit per drain, one
+// new stall behind it) without ever emptying; the backing array must stay
+// bounded by the live entry count instead of growing with every stall ever
+// observed.
+func TestL1StalledStoreQueueFootprintBounded(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultL1Config("L1-compact")
+	cfg.WriteBufferSlots = 1
+	l1, err := NewL1Controller(0, eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1.wb.Push(0xF000) // occupy the single slot so new stores always stall
+	// One resident entry keeps the queue non-empty across every step, so
+	// the empty-queue reset never fires and only compaction can bound it.
+	l1.stalledStores = append(l1.stalledStores, pendingStore{block: 0x10000})
+	var admitted []mem.Addr
+	for i := 1; i <= 1000; i++ {
+		l1.stalledStores = append(l1.stalledStores, pendingStore{block: mem.Addr(0x10000 + i*64)})
+		got, _ := l1.wb.Pop() // a drain frees the slot
+		admitted = append(admitted, got)
+		l1.admitStalledStores() // admits the oldest; the next entry stalls again
+		if live := len(l1.stalledStores) - l1.stalledHead; live != 1 {
+			t.Fatalf("fixture broken: %d live stalls after step %d, want 1", live, i)
+		}
+		if n := len(l1.stalledStores); n > 64 {
+			t.Fatalf("backing array grew to %d entries with 1 live stall after %d churn steps", n, i)
+		}
+	}
+	// FIFO preserved across compactions: drains saw the blocks in stall order.
+	for i := 1; i < len(admitted); i++ {
+		if admitted[i] != mem.Addr(0x10000+(i-1)*64) {
+			t.Fatalf("drain %d saw block %#x, want FIFO order", i, admitted[i])
+		}
+	}
+}
+
+// A secondary miss merged onto an outstanding MSHR entry completes with the
+// primary fill, and the AMAT accumulator records each waiter's own issue-to
+// -completion latency.
+func TestL1MergedMissLatencyAccounting(t *testing.T) {
+	eng, l2, l1 := newL1UnderTest(t)
+	var t1, t2 sim.Cycle
+	l1.Read(0x8000, func() { t1 = eng.Now() })
+	eng.RunUntil(5)                            // let 5 cycles pass before the secondary miss
+	l1.Read(0x8008, func() { t2 = eng.Now() }) // same 64-byte block: merges
+	eng.Run()
+
+	if len(l2.reads) != 1 {
+		t.Fatalf("merged miss issued %d L2 reads, want 1", len(l2.reads))
+	}
+	if l1.Cache().Misses.Value() != 2 || l1.LoadMisses.Value() != 2 {
+		t.Fatalf("miss accounting wrong: cache=%d l1=%d", l1.Cache().Misses.Value(), l1.LoadMisses.Value())
+	}
+	if t1 == 0 || t1 != t2 {
+		t.Fatalf("merged waiters completed at %d and %d, want the same fill cycle", t1, t2)
+	}
+	if n := l1.LoadLatency.Count(); n != 2 {
+		t.Fatalf("latency observations %d, want 2", n)
+	}
+	wantSum := float64(t1) + float64(t2-5)
+	if got := l1.LoadLatency.Sum(); got != wantSum {
+		t.Fatalf("latency sum %v, want %v (per-waiter issue-to-completion)", got, wantSum)
 	}
 }
 

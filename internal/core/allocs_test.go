@@ -1,0 +1,97 @@
+package core
+
+// Allocation guards for the data plane: the steady-state L1 load-hit and
+// load-miss→bus→L2-fill paths must not allocate.  These tests are the CI
+// tripwire behind the pooled MSHR records, the pre-bound bus completions
+// and the flat cache arrays; `make ci` runs them explicitly (test-allocs).
+
+import (
+	"testing"
+
+	"cmpleak/internal/cache"
+	"cmpleak/internal/coherence"
+	"cmpleak/internal/decay"
+	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
+)
+
+// newLoadPathRig wires one L1+L2 pair to a bus and memory under the
+// always-on technique — the minimal full-depth read path.
+func newLoadPathRig(tb testing.TB) (*sim.Engine, *coherence.L1Controller, *Controller) {
+	tb.Helper()
+	eng := sim.NewEngine()
+	memory := mem.New(eng, mem.Config{LatencyCycles: 100, BandwidthBytesPerCycle: 16, BlockSize: 64})
+	bus := coherence.NewBus(eng, memory, coherence.DefaultBusConfig())
+	l1, err := coherence.NewL1Controller(0, eng, coherence.DefaultL1Config("L1-alloc"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l2, err := NewController(eng, bus, ControllerConfig{
+		ID: 0,
+		Cache: cache.Config{
+			Name: "L2-alloc", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 4, LatencyCycles: 10,
+		},
+		MSHREntries: 16,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tech := decay.NewAlwaysOn()
+	l2.AttachL1(l1)
+	l2.AttachTechnique(tech)
+	l1.SetLowerLevel(l2)
+	tech.Start(eng, l2)
+	return eng, l1, l2
+}
+
+// missStride maps every address onto set 0 of both the 32 KB L1 (8 KB span)
+// and the 64 KB rig L2 (16 KB span), so a round-robin over more blocks than
+// either associativity misses on every access.
+const missStride = 16 * 1024
+
+// missBlocks exceeds both associativities (4-way), so the round-robin
+// stream never hits.
+const missBlocks = 9
+
+func TestSteadyStateLoadHitAllocationFree(t *testing.T) {
+	eng, l1, _ := newLoadPathRig(t)
+	const addr = mem.Addr(0x40) // set 1: disjoint from the miss stream's set 0
+	l1.Read(addr, nil)
+	eng.Run() // fill the line
+	hit := func() {
+		l1.Read(addr, nil)
+		eng.Run()
+	}
+	hit()
+	if allocs := testing.AllocsPerRun(200, hit); allocs != 0 {
+		t.Errorf("steady-state load hit allocates %.1f objects/op, want 0", allocs)
+	}
+	if l1.LoadHits.Value() == 0 || l1.LoadMisses.Value() != 1 {
+		t.Fatalf("fixture broken: hits=%d misses=%d", l1.LoadHits.Value(), l1.LoadMisses.Value())
+	}
+}
+
+func TestSteadyStateLoadMissAllocationFree(t *testing.T) {
+	eng, l1, l2 := newLoadPathRig(t)
+	i := 0
+	miss := func() {
+		l1.Read(mem.Addr(i%missBlocks)*missStride, nil)
+		i++
+		eng.Run()
+	}
+	// Warm up: populate the event, request, MSHR and bus-completion pools
+	// and bring the MSHR maps to steady state.
+	for j := 0; j < 4*missBlocks; j++ {
+		miss()
+	}
+	missesBefore := l1.LoadMisses.Value()
+	if allocs := testing.AllocsPerRun(200, miss); allocs != 0 {
+		t.Errorf("steady-state load miss→L2 fill allocates %.1f objects/op, want 0", allocs)
+	}
+	if l1.LoadMisses.Value() == missesBefore {
+		t.Fatal("fixture broken: the miss stream stopped missing")
+	}
+	if l2.ReadMisses.Value() == 0 {
+		t.Fatal("fixture broken: misses never reached the L2")
+	}
+}

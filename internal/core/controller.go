@@ -48,9 +48,17 @@ type Controller struct {
 	decayedBlocks map[mem.Addr]struct{}
 
 	// freeRetry pools MSHR-full retry records so back-offs schedule a
-	// pre-bound pooled event instead of a fresh closure per retry.
+	// pre-bound pooled event instead of a fresh closure per retry; freeUpgr
+	// pools the continuations of BusUpgr transactions the same way.
 	freeRetry *missRetry
+	freeUpgr  *upgradeReq
 	retryFn   sim.ArgFunc
+	// Pre-bound bus completions: the bus hands the transaction back, so the
+	// fill and turn-off write-back continuations recover the block from
+	// txn.Block instead of capturing it in a per-miss closure.
+	fillFn      coherence.ResultFunc
+	upgradeFn   coherence.ResultFunc
+	turnOffWBFn coherence.ResultFunc
 
 	// Statistics.
 	Reads                  stats.Counter
@@ -93,6 +101,11 @@ func NewController(eng *sim.Engine, bus *coherence.Bus, cfg ControllerConfig) (*
 		decayedBlocks: make(map[mem.Addr]struct{}),
 	}
 	c.retryFn = c.retryMiss
+	c.fillFn = func(_ any, txn coherence.Transaction, res coherence.BusResult) {
+		c.fill(txn.Block, res)
+	}
+	c.upgradeFn = c.finishUpgrade
+	c.turnOffWBFn = c.finishTurnOffWriteBack
 	bus.Attach(c)
 	return c, nil
 }
@@ -102,18 +115,27 @@ func NewController(eng *sim.Engine, bus *coherence.Bus, cfg ControllerConfig) (*
 type missRetry struct {
 	block   mem.Addr
 	isWrite bool
-	done    func()
+	done    cache.DoneFunc
+	arg     any
 	next    *missRetry
 }
 
 // retryMiss re-attempts a miss after an MSHR-full back-off.
 func (c *Controller) retryMiss(a any) {
 	r := a.(*missRetry)
-	block, isWrite, done := r.block, r.isWrite, r.done
-	r.done = nil
+	block, isWrite, done, arg := r.block, r.isWrite, r.done, r.arg
+	r.done, r.arg = nil, nil
 	r.next = c.freeRetry
 	c.freeRetry = r
-	c.requestMiss(block, isWrite, done)
+	c.requestMiss(block, isWrite, done, arg)
+}
+
+// upgradeReq carries a BusUpgr continuation (the requester's completion)
+// through the bus round trip; records are pooled on an intrusive free list.
+type upgradeReq struct {
+	done cache.DoneFunc
+	arg  any
+	next *upgradeReq
 }
 
 // AttachL1 wires the upper-level cache used for inclusion maintenance.
@@ -170,7 +192,7 @@ func (c *Controller) MissRate() float64 { return stats.RatioU(c.Misses(), c.Acce
 // ---------------------------------------------------------------------------
 
 // Read services a PrRd from the L1 (load miss in the upper level).
-func (c *Controller) Read(block mem.Addr, done func()) {
+func (c *Controller) Read(block mem.Addr, done cache.DoneFunc, arg any) {
 	c.Reads.Inc()
 	set, way, hit := c.arr.Lookup(block)
 	if hit && c.LineState(set, way).Valid() {
@@ -180,56 +202,49 @@ func (c *Controller) Read(block mem.Addr, done func()) {
 		if c.tech != nil {
 			c.tech.OnHit(c, set, way, c.LineState(set, way))
 		}
-		c.eng.Schedule(c.cfg.Cache.Latency(), done)
+		c.mshr.ScheduleDone(c.eng, c.cfg.Cache.Latency(), done, arg, block)
 		return
 	}
 	c.ReadMisses.Inc()
 	c.arr.Misses.Inc()
 	c.noteDecayInducedMiss(block)
-	c.requestMiss(block, false, done)
+	c.requestMiss(block, false, done, arg)
 }
 
 // Write services a PrWr: a write-through store arriving from the L1 write
 // buffer.  The L2 allocates on write misses (it is the point of coherence).
-func (c *Controller) Write(block mem.Addr, done func()) {
+func (c *Controller) Write(block mem.Addr, done cache.DoneFunc, arg any) {
 	c.Writes.Inc()
 	set, way, hit := c.arr.Lookup(block)
 	if hit {
 		st := c.LineState(set, way)
 		switch st {
 		case coherence.Modified:
-			c.writeHit(set, way, done)
+			c.writeHit(block, set, way, done, arg)
 			return
 		case coherence.Exclusive:
 			// Silent E -> M upgrade.
 			c.arr.Line(set, way).Dirty = true
 			c.setState(set, way, coherence.Modified)
-			c.writeHit(set, way, done)
+			c.writeHit(block, set, way, done, arg)
 			return
 		case coherence.Shared:
-			// Upgrade: invalidate other copies, no data transfer.
+			// Upgrade: invalidate other copies, no data transfer.  The
+			// continuation rides a pooled record; the block comes back with
+			// the transaction.
 			c.WriteHits.Inc()
 			c.arr.Hits.Inc()
 			c.Upgrades.Inc()
 			c.arr.Touch(set, way, c.eng.Now())
+			u := c.freeUpgr
+			if u == nil {
+				u = &upgradeReq{}
+			} else {
+				c.freeUpgr = u.next
+			}
+			u.done, u.arg, u.next = done, arg, nil
 			txn := coherence.Transaction{Kind: coherence.BusUpgr, Block: block, Requester: c.cfg.ID}
-			c.bus.Issue(txn, func(coherence.BusResult) {
-				s2, w2, still := c.arr.Lookup(block)
-				if still && c.LineState(s2, w2) == coherence.Shared {
-					c.arr.Line(s2, w2).Dirty = true
-					c.setState(s2, w2, coherence.Modified)
-					if c.tech != nil {
-						c.tech.OnHit(c, s2, w2, coherence.Modified)
-					}
-					c.eng.Schedule(c.cfg.Cache.Latency(), done)
-					return
-				}
-				// Lost the line to a racing invalidation or turn-off:
-				// fall back to a full write miss.
-				c.WriteMisses.Inc()
-				c.arr.Misses.Inc()
-				c.requestMiss(block, true, done)
-			})
+			c.bus.Issue(txn, c.upgradeFn, u)
 			return
 		default:
 			// Transient (being turned off): treat as a miss; the fill will
@@ -239,11 +254,37 @@ func (c *Controller) Write(block mem.Addr, done func()) {
 	c.WriteMisses.Inc()
 	c.arr.Misses.Inc()
 	c.noteDecayInducedMiss(block)
-	c.requestMiss(block, true, done)
+	c.requestMiss(block, true, done, arg)
 }
 
-// writeHit finishes a write hit on a Modified line.
-func (c *Controller) writeHit(set, way int, done func()) {
+// finishUpgrade completes a BusUpgr once the bus accepted it.
+func (c *Controller) finishUpgrade(a any, txn coherence.Transaction, _ coherence.BusResult) {
+	u := a.(*upgradeReq)
+	done, arg := u.done, u.arg
+	u.done, u.arg = nil, nil
+	u.next = c.freeUpgr
+	c.freeUpgr = u
+	block := txn.Block
+	s2, w2, still := c.arr.Lookup(block)
+	if still && c.LineState(s2, w2) == coherence.Shared {
+		c.arr.Line(s2, w2).Dirty = true
+		c.setState(s2, w2, coherence.Modified)
+		if c.tech != nil {
+			c.tech.OnHit(c, s2, w2, coherence.Modified)
+		}
+		c.mshr.ScheduleDone(c.eng, c.cfg.Cache.Latency(), done, arg, block)
+		return
+	}
+	// Lost the line to a racing invalidation or turn-off: fall back to a
+	// full write miss.
+	c.WriteMisses.Inc()
+	c.arr.Misses.Inc()
+	c.requestMiss(block, true, done, arg)
+}
+
+// writeHit finishes a write hit on a Modified line, delivering the caller's
+// requested block (like every other completion path).
+func (c *Controller) writeHit(block mem.Addr, set, way int, done cache.DoneFunc, arg any) {
 	c.WriteHits.Inc()
 	c.arr.Hits.Inc()
 	c.arr.Touch(set, way, c.eng.Now())
@@ -251,7 +292,7 @@ func (c *Controller) writeHit(set, way int, done func()) {
 	if c.tech != nil {
 		c.tech.OnHit(c, set, way, coherence.Modified)
 	}
-	c.eng.Schedule(c.cfg.Cache.Latency(), done)
+	c.mshr.ScheduleDone(c.eng, c.cfg.Cache.Latency(), done, arg, block)
 }
 
 // noteDecayInducedMiss attributes a miss to a previous decay turn-off.
@@ -263,8 +304,10 @@ func (c *Controller) noteDecayInducedMiss(block mem.Addr) {
 }
 
 // requestMiss allocates an MSHR entry (retrying while full) and issues the
-// bus transaction for primary misses.
-func (c *Controller) requestMiss(block mem.Addr, isWrite bool, done func()) {
+// bus transaction for primary misses.  The fill continuation is the
+// controller's single pre-bound fillFn: the block travels in the
+// transaction, so no per-miss closure exists.
+func (c *Controller) requestMiss(block mem.Addr, isWrite bool, done cache.DoneFunc, arg any) {
 	entry, isNew := c.mshr.Allocate(block, isWrite)
 	if entry == nil {
 		c.RetryEvents.Inc()
@@ -274,11 +317,11 @@ func (c *Controller) requestMiss(block mem.Addr, isWrite bool, done func()) {
 		} else {
 			c.freeRetry = r.next
 		}
-		r.block, r.isWrite, r.done, r.next = block, isWrite, done, nil
+		r.block, r.isWrite, r.done, r.arg, r.next = block, isWrite, done, arg, nil
 		c.eng.ScheduleArg(c.cfg.RetryCycles, c.retryFn, r)
 		return
 	}
-	entry.AddWaiter(done)
+	c.mshr.AddWaiter(entry, done, arg)
 	if !isNew {
 		return
 	}
@@ -287,7 +330,7 @@ func (c *Controller) requestMiss(block mem.Addr, isWrite bool, done func()) {
 		kind = coherence.BusRdX
 	}
 	txn := coherence.Transaction{Kind: kind, Block: block, Requester: c.cfg.ID}
-	c.bus.Issue(txn, func(res coherence.BusResult) { c.fill(block, res) })
+	c.bus.Issue(txn, c.fillFn, nil)
 }
 
 // fill installs a block returned by the bus and wakes the merged requests.
@@ -320,9 +363,7 @@ func (c *Controller) fill(block mem.Addr, res coherence.BusResult) {
 	if c.tech != nil {
 		c.tech.OnFill(c, set, way, st)
 	}
-	for _, w := range c.mshr.Complete(block) {
-		c.eng.Schedule(c.cfg.Cache.Latency(), w)
-	}
+	c.mshr.CompleteDeliver(block, c.eng, c.cfg.Cache.Latency())
 }
 
 // evictForFill clears the victim way, writing back dirty data and preserving
@@ -340,7 +381,7 @@ func (c *Controller) evictForFill(set, way int) {
 		c.EvictionWritebacks.Inc()
 		c.arr.Writebacks.Inc()
 		txn := coherence.Transaction{Kind: coherence.WriteBack, Block: victimBlock, Requester: c.cfg.ID}
-		c.bus.Issue(txn, nil)
+		c.bus.Issue(txn, nil, nil)
 	}
 	if c.l1 != nil {
 		c.l1.InvalidateBlock(victimBlock)
@@ -452,18 +493,23 @@ func (c *Controller) RequestTurnOff(set, way int) {
 		c.TurnOffWritebacks.Inc()
 		c.arr.Writebacks.Inc()
 		txn := coherence.Transaction{Kind: coherence.WriteBack, Block: block, Requester: c.cfg.ID}
-		c.bus.Issue(txn, func(coherence.BusResult) {
-			s2, w2, still := c.arr.Lookup(block)
-			if !still || c.LineState(s2, w2) != coherence.TransientDirty {
-				// The line was re-fetched or invalidated while the
-				// write-back was in flight; nothing left to gate.
-				return
-			}
-			c.completeTurnOff(s2, w2, block)
-		})
+		c.bus.Issue(txn, c.turnOffWBFn, nil)
 		return
 	}
 	c.completeTurnOff(set, way, block)
+}
+
+// finishTurnOffWriteBack gates a TransientDirty line once its write-back
+// completed (pre-bound; the block comes back with the transaction).
+func (c *Controller) finishTurnOffWriteBack(_ any, txn coherence.Transaction, _ coherence.BusResult) {
+	block := txn.Block
+	s2, w2, still := c.arr.Lookup(block)
+	if !still || c.LineState(s2, w2) != coherence.TransientDirty {
+		// The line was re-fetched or invalidated while the write-back was
+		// in flight; nothing left to gate.
+		return
+	}
+	c.completeTurnOff(s2, w2, block)
 }
 
 // setStateRaw changes the state without firing the stationary-transition

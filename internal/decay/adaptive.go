@@ -1,7 +1,6 @@
 package decay
 
 import (
-	"cmpleak/internal/cache"
 	"cmpleak/internal/coherence"
 	"cmpleak/internal/sim"
 	"cmpleak/internal/stats"
@@ -55,49 +54,37 @@ type amcState struct {
 }
 
 // Start launches an independently adapting scanner per controller.  The
-// scanner is a recurring engine event whose period is retuned in place
-// after each tick (SetPeriod), instead of a self-rescheduling closure.
+// scan is the shared striped tickScanner; the adaptation-window logic runs
+// from its done hook, after the last stripe of each tick, and then
+// schedules the next tick one (possibly retuned) period later.  Explicit
+// self-scheduling — rather than a Recurring with SetPeriod — keeps the
+// period change effective for the very next tick even when the scan spans
+// several stripes (a Recurring refires when the first stripe's event
+// returns, before the adaptation has run); engine one-shot nodes are
+// pooled, so this costs no allocations either.
 func (d *AdaptiveMode) Start(eng *sim.Engine, ctrl Controller) {
 	st := &amcState{interval: d.initialCycles, missesAtWin: ctrl.Array().Misses.Value()}
 	if st.interval < 4 {
 		st.interval = 4
 	}
-	var r *sim.Recurring
-	r = eng.ScheduleRecurring(st.interval/counterLevels, func(sim.Cycle) bool {
-		d.tick(ctrl, st)
-		r.SetPeriod(st.interval / counterLevels)
-		return true
-	})
+	sc := newTickScanner(eng, ctrl, false, &d.TurnOffRequests)
+	var tickFn sim.EventFunc
+	sc.done = func() {
+		d.adapt(ctrl, st)
+		eng.Schedule(st.interval/counterLevels, tickFn)
+	}
+	tickFn = sc.tick
+	eng.Schedule(st.interval/counterLevels, tickFn)
 }
 
-func (d *AdaptiveMode) tick(ctrl Controller, st *amcState) {
-	arr := ctrl.Array()
-	var toTurnOff [][2]int
-	arr.ForEachValid(func(set, way int, ln *cache.Line) {
-		if !ln.Powered || !ln.DecayArmed {
-			return
-		}
-		if !ctrl.LineState(set, way).Stable() {
-			return
-		}
-		if ln.DecayCounter < counterLevels {
-			ln.DecayCounter++
-		}
-		if ln.DecayCounter >= counterLevels {
-			toTurnOff = append(toTurnOff, [2]int{set, way})
-		}
-	})
-	for _, sw := range toTurnOff {
-		d.TurnOffRequests.Inc()
-		ctrl.RequestTurnOff(sw[0], sw[1])
-	}
-
+// adapt applies the Adaptive Mode Control window logic after a tick.
+func (d *AdaptiveMode) adapt(ctrl Controller, st *amcState) {
 	st.ticksInWin++
 	if st.ticksInWin < d.SampleWindows*counterLevels {
 		return
 	}
 	st.ticksInWin = 0
-	misses := arr.Misses.Value()
+	misses := ctrl.Array().Misses.Value()
 	windowMisses := misses - st.missesAtWin
 	st.missesAtWin = misses
 	switch {

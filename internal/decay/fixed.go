@@ -1,7 +1,6 @@
 package decay
 
 import (
-	"cmpleak/internal/cache"
 	"cmpleak/internal/coherence"
 	"cmpleak/internal/sim"
 	"cmpleak/internal/stats"
@@ -51,41 +50,15 @@ func (d *FixedDecay) globalTickPeriod() sim.Cycle {
 }
 
 // Start launches the global-tick scanner for one controller as a recurring
-// engine event (one pooled node, no rescheduling churn).
+// engine event (one pooled node, no rescheduling churn).  The scan itself
+// is the shared striped tickScanner.
 func (d *FixedDecay) Start(eng *sim.Engine, ctrl Controller) {
-	eng.ScheduleRecurring(d.globalTickPeriod(), func(now sim.Cycle) bool {
+	sc := newTickScanner(eng, ctrl, false, &d.TurnOffRequests)
+	eng.ScheduleRecurring(d.globalTickPeriod(), func(sim.Cycle) bool {
 		d.TicksRun.Inc()
-		d.tick(ctrl, now)
+		sc.tick()
 		return true
 	})
-}
-
-// tick advances every armed line's counter and requests turn-off for
-// saturated ones.  Transient lines are skipped: the turn-off signal may only
-// start from a stationary state (Figure 2), so they will be considered again
-// on the next tick.
-func (d *FixedDecay) tick(ctrl Controller, now sim.Cycle) {
-	arr := ctrl.Array()
-	var toTurnOff [][2]int
-	arr.ForEachValid(func(set, way int, ln *cache.Line) {
-		if !ln.Powered || !ln.DecayArmed {
-			return
-		}
-		if !ctrl.LineState(set, way).Stable() {
-			return
-		}
-		if ln.DecayCounter < counterLevels {
-			ln.DecayCounter++
-		}
-		if ln.DecayCounter >= counterLevels {
-			toTurnOff = append(toTurnOff, [2]int{set, way})
-		}
-	})
-	for _, sw := range toTurnOff {
-		d.TurnOffRequests.Inc()
-		ctrl.RequestTurnOff(sw[0], sw[1])
-	}
-	_ = now
 }
 
 // OnFill arms the line and resets its counter.

@@ -1,7 +1,6 @@
 package decay
 
 import (
-	"cmpleak/internal/cache"
 	"cmpleak/internal/coherence"
 	"cmpleak/internal/sim"
 	"cmpleak/internal/stats"
@@ -47,42 +46,15 @@ func (d *SelectiveDecay) globalTickPeriod() sim.Cycle {
 }
 
 // Start launches the global-tick scanner for one controller as a recurring
-// engine event (one pooled node, no rescheduling churn).
+// engine event (one pooled node, no rescheduling churn).  The scan is the
+// shared striped tickScanner in skip-Modified mode: even if a line became
+// Modified without the arming hook firing, SD never decays it.
 func (d *SelectiveDecay) Start(eng *sim.Engine, ctrl Controller) {
-	eng.ScheduleRecurring(d.globalTickPeriod(), func(now sim.Cycle) bool {
-		d.tick(ctrl, now)
+	sc := newTickScanner(eng, ctrl, true, &d.TurnOffRequests)
+	eng.ScheduleRecurring(d.globalTickPeriod(), func(sim.Cycle) bool {
+		sc.tick()
 		return true
 	})
-}
-
-func (d *SelectiveDecay) tick(ctrl Controller, now sim.Cycle) {
-	arr := ctrl.Array()
-	var toTurnOff [][2]int
-	arr.ForEachValid(func(set, way int, ln *cache.Line) {
-		if !ln.Powered || !ln.DecayArmed {
-			return
-		}
-		st := ctrl.LineState(set, way)
-		if !st.Stable() {
-			return
-		}
-		// Defensive: even if a line became Modified without the hook
-		// firing, never decay a Modified line under SD.
-		if st == coherence.Modified {
-			return
-		}
-		if ln.DecayCounter < counterLevels {
-			ln.DecayCounter++
-		}
-		if ln.DecayCounter >= counterLevels {
-			toTurnOff = append(toTurnOff, [2]int{set, way})
-		}
-	})
-	for _, sw := range toTurnOff {
-		d.TurnOffRequests.Inc()
-		ctrl.RequestTurnOff(sw[0], sw[1])
-	}
-	_ = now
 }
 
 // arm configures the decay metadata for a transition into state st.

@@ -186,6 +186,22 @@ func (e *Engine) wheelInsert(ev *event) {
 	e.wheelCount++
 }
 
+// wheelPrepend pushes ev to the front of its horizon bucket, ahead of every
+// event already queued for that cycle.  Only used for current-cycle
+// continuations (ScheduleNextArg), so the one-cycle-per-bucket invariant of
+// wheelInsert is preserved.
+func (e *Engine) wheelPrepend(ev *event) {
+	idx := int(ev.when) & wheelMask
+	b := &e.buckets[idx]
+	ev.next = b.head
+	b.head = ev
+	if b.tail == nil {
+		b.tail = ev
+		e.occ[idx>>6] |= 1 << (uint(idx) & 63)
+	}
+	e.wheelCount++
+}
+
 // insert routes ev to the wheel or the far heap.
 func (e *Engine) insert(ev *event) {
 	if ev.when-e.now < wheelSize {
@@ -294,6 +310,23 @@ func (e *Engine) ScheduleArgAt(when Cycle, fn ArgFunc, arg any) {
 	ev.afn = fn
 	ev.arg = arg
 	e.insert(ev)
+}
+
+// ScheduleNextArg registers fn to run at the current cycle ahead of every
+// event already queued for it.  A callback that schedules a continuation
+// with ScheduleNextArg is therefore guaranteed the continuation runs
+// immediately after it, with no foreign same-cycle event interleaving —
+// the primitive that lets a long scan be split across several events while
+// remaining observably atomic (the striped decay ticks rely on this).
+func (e *Engine) ScheduleNextArg(fn ArgFunc, arg any) {
+	if fn == nil {
+		panic("sim: ScheduleNextArg called with nil ArgFunc")
+	}
+	ev := e.alloc()
+	ev.when = e.now
+	ev.afn = fn
+	ev.arg = arg
+	e.wheelPrepend(ev)
 }
 
 func (e *Engine) checkFuture(when Cycle) {

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// ScheduleNextArg must run the continuation immediately after the current
+// event, ahead of everything else already queued for the cycle — the
+// atomicity guarantee the striped decay scans build on.
+func TestScheduleNextArgRunsBeforeQueuedSameCycleEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(5, func() {
+		order = append(order, "first")
+		e.ScheduleNextArg(func(any) {
+			order = append(order, "cont1")
+			e.ScheduleNextArg(func(any) { order = append(order, "cont2") }, nil)
+		}, nil)
+	})
+	// Queued for the same cycle before the continuations exist; must still
+	// run after them.
+	e.Schedule(5, func() { order = append(order, "queued") })
+	e.Schedule(6, func() { order = append(order, "later") })
+	e.Run()
+	want := []string{"first", "cont1", "cont2", "queued", "later"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("execution order %v, want %v", order, want)
+	}
+}
+
+func TestScheduleNextArgDeliversArg(t *testing.T) {
+	e := NewEngine()
+	var got any
+	e.Schedule(1, func() {
+		e.ScheduleNextArg(func(a any) { got = a }, 42)
+	})
+	e.Run()
+	if got != 42 {
+		t.Fatalf("arg %v, want 42", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events left pending", e.Pending())
+	}
+}
+
+func TestScheduleNextArgNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil ArgFunc accepted")
+		}
+	}()
+	NewEngine().ScheduleNextArg(nil, nil)
+}
