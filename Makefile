@@ -4,9 +4,9 @@
 
 GO ?= go
 BENCH_SCALE ?= 0.005
-# Packages with the scheduler + data-plane microbenchmarks used by
-# bench-baseline / bench-compare.
-BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay
+# Packages with the scheduler + data-plane + front-end microbenchmarks used
+# by bench-baseline / bench-compare.
+BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay ./internal/workload ./internal/stats
 BENCH_COUNT ?= 5
 
 .PHONY: ci fmt vet build test test-allocs bench-smoke bench bench-baseline bench-compare
@@ -29,10 +29,13 @@ test:
 	$(GO) test ./...
 
 # test-allocs re-runs the 0-allocs/op guards on the steady-state load-hit,
-# load-miss and decay-tick paths explicitly, so an allocation regression
-# fails CI with a focused message even when the main test run is filtered.
+# load-miss, decay-tick, victim-selection, stream-refill and stats-observe
+# paths explicitly, so an allocation regression fails CI with a focused
+# message even when the main test run is filtered.
 test-allocs:
-	$(GO) test -count 1 -run 'AllocationFree' ./internal/cache ./internal/core ./internal/decay
+	$(GO) test -count 1 -run 'AllocationFree' \
+		./internal/cache ./internal/core ./internal/decay \
+		./internal/workload ./internal/stats
 
 # bench-smoke proves the benchmark harness still runs end to end: one
 # iteration of the scheduler microbenchmarks and one reduced-scale

@@ -8,6 +8,14 @@
 //	leaksweep                      # full sweep at the default scale
 //	leaksweep -scale 0.25 -fig 5a  # quarter-length workloads, Figure 5a only
 //	leaksweep -benchmarks WATER-NS,FMM -sizes 2,4 -csv
+//	leaksweep -shard 0/4           # this process runs shard 0 of 4
+//
+// -shard i/n deterministically partitions the sweep's (benchmark, size)
+// groups by index — each group's baseline and technique runs stay together
+// — so n invocations that differ only in i (across processes or machines)
+// together run exactly the full matrix, each job exactly once.  A sharded
+// invocation's tables contain only its own groups; merging is up to the
+// caller.
 package main
 
 import (
@@ -30,12 +38,20 @@ func main() {
 		fig        = flag.String("fig", "", "print only one figure: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b")
 		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		shard      = flag.String("shard", "", "run shard i of n sweep jobs, as \"i/n\" (default: all jobs)")
 	)
 	flag.Parse()
 
 	opts := cmpleak.DefaultSweepOptions(*scale)
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
+	if *shard != "" {
+		i, n, err := parseShard(*shard)
+		if err != nil {
+			fatalf("invalid -shard: %v", err)
+		}
+		opts.ShardIndex, opts.ShardCount = i, n
+	}
 	if *benchmarks != "" {
 		opts.Benchmarks = splitList(*benchmarks)
 	}
@@ -51,8 +67,13 @@ func main() {
 		opts.CacheSizesMB = mbs
 	}
 
-	runs := len(opts.Benchmarks) * len(opts.CacheSizesMB) * (len(opts.Techniques) + 1)
-	fmt.Fprintf(os.Stderr, "leaksweep: running %d simulations (scale=%.3g)...\n", runs, *scale)
+	runs := len(opts.Jobs())
+	if opts.ShardCount > 1 {
+		fmt.Fprintf(os.Stderr, "leaksweep: running %d simulations (shard %d/%d, scale=%.3g)...\n",
+			runs, opts.ShardIndex, opts.ShardCount, *scale)
+	} else {
+		fmt.Fprintf(os.Stderr, "leaksweep: running %d simulations (scale=%.3g)...\n", runs, *scale)
+	}
 	start := time.Now()
 	sweep, err := cmpleak.RunSweep(opts)
 	if err != nil {
@@ -96,6 +117,24 @@ func main() {
 	for _, t := range sweep.AllFigures() {
 		emit(t)
 	}
+}
+
+// parseShard parses "i/n" with 0 <= i < n.
+func parseShard(s string) (i, n int, err error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("want \"i/n\", got %q", s)
+	}
+	if i, err = strconv.Atoi(strings.TrimSpace(is)); err != nil {
+		return 0, 0, fmt.Errorf("shard index %q is not an integer", is)
+	}
+	if n, err = strconv.Atoi(strings.TrimSpace(ns)); err != nil {
+		return 0, 0, fmt.Errorf("shard count %q is not an integer", ns)
+	}
+	if n <= 0 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("shard %d/%d out of range (want 0 <= i < n)", i, n)
+	}
+	return i, n, nil
 }
 
 func splitList(s string) []string {

@@ -41,7 +41,7 @@ func BenchmarkLookupHit(b *testing.B) {
 func BenchmarkVictim(b *testing.B) {
 	c := MustNew(benchConfig(1 << 20))
 	sets := c.Config().NumSets()
-	// Fill everything so Victim exercises the full LRU scan.
+	// Fill everything so Victim exercises the full-set LRU extraction.
 	for i := 0; i < c.Config().NumLines(); i++ {
 		a := mem.Addr(i * 64)
 		set, _, _ := c.Lookup(a)
@@ -51,6 +51,51 @@ func BenchmarkVictim(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = c.Victim(i & (sets - 1))
+	}
+}
+
+// BenchmarkVictimAssoc measures victim selection across associativities on a
+// full cache.  The stamp scheme scanned all ways (ns/op grew with assoc);
+// the packed ranks extract the LRU way from one permutation word, so the
+// three curves should sit on top of each other.
+func BenchmarkVictimAssoc(b *testing.B) {
+	for _, assoc := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("assoc%d", assoc), func(b *testing.B) {
+			cfg := benchConfig(1 << 20)
+			cfg.Assoc = assoc
+			c := MustNew(cfg)
+			sets := c.Config().NumSets()
+			for i := 0; i < c.Config().NumLines(); i++ {
+				a := mem.Addr(i * 64)
+				set, _, _ := c.Lookup(a)
+				c.Install(a, set, c.Victim(set), sim.Cycle(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = c.Victim(i & (sets - 1))
+			}
+		})
+	}
+}
+
+// TestVictimTouchAllocationFree guards the replacement hot path (`make
+// test-allocs`): victim selection and MRU promotion must not allocate.
+func TestVictimTouchAllocationFree(t *testing.T) {
+	c := MustNew(benchConfig(1 << 16))
+	for i := 0; i < c.Config().NumLines(); i++ {
+		a := mem.Addr(i * 64)
+		set, _, _ := c.Lookup(a)
+		c.Install(a, set, c.Victim(set), sim.Cycle(i))
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(500, func() {
+		set := i & (c.Config().NumSets() - 1)
+		way := c.Victim(set)
+		c.Touch(set, way, sim.Cycle(i))
+		i++
+	}); allocs != 0 {
+		t.Errorf("Victim+Touch allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

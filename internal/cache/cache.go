@@ -104,10 +104,34 @@ type Cache struct {
 	lineShift uint
 	setMask   uint64
 
-	// lines and lruStamp are flat arrays indexed by set*assoc+way.
-	lines    []Line
-	lruStamp []uint64
-	stampClk uint64
+	// lines is a flat array indexed by set*assoc+way.
+	lines []Line
+	// tags mirrors lines[...].Tag in a dense array so the Lookup tag scan
+	// reads one 8-byte word per way (an 8-way set is one cache line)
+	// instead of striding over the 48-byte Line structs.  Invalid ways hold
+	// invalidTag — not block-aligned, so it can never match a looked-up
+	// block — which folds the valid check into the tag compare and keeps
+	// the hit path to a single replacement-state load.  nil when LineBytes
+	// is 1 (no non-block-aligned sentinel exists); Lookup then walks the
+	// Line structs as before.
+	tags []mem.Addr
+
+	// Replacement state.  Instead of an 8-byte LRU stamp per line and an
+	// unbounded global stamp counter, each set keeps its ways as an explicit
+	// recency permutation: rank 0 is the MRU way, rank assoc-1 the LRU way.
+	// For assoc <= 16 the whole permutation packs into one uint64 of 4-bit
+	// ranks (lruOrder), so Touch is a constant shift/mask rotation and the
+	// LRU way is extracted from the top occupied nibble with no per-way
+	// scan; wider caches fall back to a byte array (lruWide) with the same
+	// semantics.  validBits mirrors the per-way Valid flags (assoc <= 64),
+	// so Victim finds the lowest-indexed invalid way with one mask and a
+	// trailing-zero count.  The permutation order reproduces stamp order
+	// exactly: every Touch promotes to MRU, everything else keeps its
+	// relative order, so victim choice is unchanged from the stamp scheme.
+	lruOrder  []uint64 // per set, assoc <= 16: nibble r holds the way at rank r
+	lruWide   []uint32 // per set*assoc+rank, assoc > 16
+	validBits []uint64 // per set, assoc <= 64: bit w mirrors lines[...].Valid
+	fullMask  uint64   // low assoc bits set
 
 	// Powered-cycle integration is kept as an aggregate updated at every
 	// power transition: onCycles is exact up to lastPowerAdv, and
@@ -138,7 +162,40 @@ func New(cfg Config) (*Cache, error) {
 		lineShift: uint(bits.TrailingZeros64(cfg.LineBytes)),
 		setMask:   uint64(cfg.NumSets() - 1),
 		lines:     make([]Line, cfg.NumLines()),
-		lruStamp:  make([]uint64, cfg.NumLines()),
+	}
+	if cfg.LineBytes > 1 {
+		c.tags = make([]mem.Addr, cfg.NumLines())
+		for i := range c.tags {
+			c.tags[i] = invalidTag
+		}
+	}
+	if c.assoc <= packedAssocMax {
+		// Identity permutation; unused high nibbles hold 0xF so a stray
+		// match can never shadow a real way (rankOf takes the lowest match
+		// anyway, and real ways always sit below the unused region).
+		var init uint64
+		for r := 0; r < 16; r++ {
+			v := uint64(0xF)
+			if r < c.assoc {
+				v = uint64(r)
+			}
+			init |= v << (4 * r)
+		}
+		c.lruOrder = make([]uint64, c.numSets)
+		for s := range c.lruOrder {
+			c.lruOrder[s] = init
+		}
+	} else {
+		c.lruWide = make([]uint32, cfg.NumLines())
+		for s := 0; s < c.numSets; s++ {
+			for r := 0; r < c.assoc; r++ {
+				c.lruWide[s*c.assoc+r] = uint32(r)
+			}
+		}
+	}
+	if c.assoc <= 64 {
+		c.validBits = make([]uint64, c.numSets)
+		c.fullMask = ^uint64(0) >> (64 - uint(c.assoc))
 	}
 	return c, nil
 }
@@ -187,6 +244,14 @@ func (c *Cache) Lookup(a mem.Addr) (set, way int, found bool) {
 	set = c.SetIndex(a)
 	tag := c.blockAddr(a)
 	base := set * c.assoc
+	if c.tags != nil {
+		for w, t := range c.tags[base : base+c.assoc] {
+			if t == tag {
+				return set, w, true
+			}
+		}
+		return set, -1, false
+	}
 	for w := 0; w < c.assoc; w++ {
 		ln := &c.lines[base+w]
 		if ln.Valid && ln.Tag == tag {
@@ -199,31 +264,78 @@ func (c *Cache) Lookup(a mem.Addr) (set, way int, found bool) {
 // Line returns a pointer to the line at (set, way).
 func (c *Cache) Line(set, way int) *Line { return &c.lines[set*c.assoc+way] }
 
+// packedAssocMax is the widest associativity whose recency permutation fits
+// one uint64 of 4-bit ranks.
+const packedAssocMax = 16
+
+// invalidTag marks an empty way in the dense tag array.  Block addresses
+// are LineBytes-aligned, so with LineBytes >= 2 no real block can equal it.
+const invalidTag mem.Addr = 1
+
+// Nibble-SWAR constants: repeated 0x1 / 0x8 patterns used to locate the
+// nibble holding a given way inside a packed permutation word.
+const (
+	nibLSB = 0x1111111111111111
+	nibMSB = 0x8888888888888888
+)
+
 // Touch marks (set, way) as most recently used and records the access time.
 func (c *Cache) Touch(set, way int, now sim.Cycle) {
-	idx := set*c.assoc + way
-	c.stampClk++
-	c.lruStamp[idx] = c.stampClk
-	c.lines[idx].LastTouch = now
+	c.lines[set*c.assoc+way].LastTouch = now
+	c.promote(set, way)
 }
 
-// Victim returns the way to replace in set: an invalid way if one exists,
-// otherwise the least recently used way.
-func (c *Cache) Victim(set int) int {
-	base := set * c.assoc
-	bestWay := 0
-	var bestStamp uint64
-	first := true
-	for w := 0; w < c.assoc; w++ {
-		if !c.lines[base+w].Valid {
-			return w
+// promote rotates way to rank 0 (MRU) of its set's recency permutation,
+// preserving the relative order of every other way.
+func (c *Cache) promote(set, way int) {
+	if c.lruOrder != nil {
+		order := c.lruOrder[set]
+		w := uint64(way)
+		if order&0xF == w {
+			return // already MRU
 		}
-		if first || c.lruStamp[base+w] < bestStamp {
-			bestWay, bestStamp = w, c.lruStamp[base+w]
-			first = false
+		// Locate the nibble holding w: XOR makes it the lowest zero nibble,
+		// the classic (x-1)&^x&0x8 trick raises bit 4p+3 at its position.
+		x := order ^ (w * nibLSB)
+		p4 := uint(bits.TrailingZeros64((x-nibLSB) & ^x & nibMSB)) &^ 3
+		low := order & (uint64(1)<<p4 - 1)       // ranks below w's
+		high := order &^ (uint64(1)<<(p4+4) - 1) // ranks above w's
+		c.lruOrder[set] = high | low<<4 | w
+		return
+	}
+	ord := c.lruWide[set*c.assoc : set*c.assoc+c.assoc]
+	if ord[0] == uint32(way) {
+		return
+	}
+	p := 1
+	for ord[p] != uint32(way) {
+		p++
+	}
+	copy(ord[1:p+1], ord[:p])
+	ord[0] = uint32(way)
+}
+
+// Victim returns the way to replace in set: the lowest-indexed invalid way
+// if one exists, otherwise the least recently used way.  Both answers are
+// O(1) for the packed representation — a trailing-zero count over the
+// inverted valid mask, or the top occupied nibble of the permutation.
+func (c *Cache) Victim(set int) int {
+	if c.validBits != nil {
+		if free := ^c.validBits[set] & c.fullMask; free != 0 {
+			return bits.TrailingZeros64(free)
+		}
+	} else {
+		base := set * c.assoc
+		for w := 0; w < c.assoc; w++ {
+			if !c.lines[base+w].Valid {
+				return w
+			}
 		}
 	}
-	return bestWay
+	if c.lruOrder != nil {
+		return int(c.lruOrder[set] >> (uint(c.assoc-1) * 4) & 0xF)
+	}
+	return int(c.lruWide[set*c.assoc+c.assoc-1])
 }
 
 // Install places the block containing a into (set, way), marking it valid
@@ -232,11 +344,17 @@ func (c *Cache) Victim(set int) int {
 func (c *Cache) Install(a mem.Addr, set, way int, now sim.Cycle) *Line {
 	ln := &c.lines[set*c.assoc+way]
 	ln.Tag = c.blockAddr(a)
+	if c.tags != nil {
+		c.tags[set*c.assoc+way] = ln.Tag
+	}
 	ln.Valid = true
 	ln.Dirty = false
 	ln.DecayCounter = 0
 	ln.DecayArmed = false
 	ln.LastTouch = now
+	if c.validBits != nil {
+		c.validBits[set] |= 1 << uint(way)
+	}
 	c.Fills.Inc()
 	c.Touch(set, way, now)
 	return ln
@@ -250,6 +368,12 @@ func (c *Cache) Invalidate(set, way int) {
 	ln.Dirty = false
 	ln.DecayCounter = 0
 	ln.DecayArmed = false
+	if c.tags != nil {
+		c.tags[set*c.assoc+way] = invalidTag
+	}
+	if c.validBits != nil {
+		c.validBits[set] &^= 1 << uint(way)
+	}
 }
 
 // advancePower brings the powered-cycle aggregate up to cycle now.  Called

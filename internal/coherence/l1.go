@@ -83,16 +83,20 @@ type L1Controller struct {
 	startDrainFn   sim.EventFunc
 
 	// Statistics.
-	Loads            stats.Counter
-	Stores           stats.Counter
-	LoadHits         stats.Counter
-	LoadMisses       stats.Counter
-	StoreHits        stats.Counter
-	StoreMisses      stats.Counter
-	BackInvalidates  stats.Counter
-	RetryEvents      stats.Counter
-	LoadLatency      stats.Accumulator
-	StoreAcceptDelay stats.Accumulator
+	Loads           stats.Counter
+	Stores          stats.Counter
+	LoadHits        stats.Counter
+	LoadMisses      stats.Counter
+	StoreHits       stats.Counter
+	StoreMisses     stats.Counter
+	BackInvalidates stats.Counter
+	RetryEvents     stats.Counter
+	// LoadLatency and StoreAcceptDelay observe integer cycle deltas once
+	// per completed access; they use the integer CycleAcc so the hot path
+	// does no float arithmetic (moments are computed at report time and are
+	// bit-identical to the float64 accumulation they replaced).
+	LoadLatency      stats.CycleAcc
+	StoreAcceptDelay stats.CycleAcc
 }
 
 // NewL1Controller builds an L1 controller; below may be set later with
@@ -168,7 +172,7 @@ func (l *L1Controller) newReq(a mem.Addr, start sim.Cycle, done func()) *loadReq
 // finishLoad completes a load: it records the observed latency for AMAT,
 // recycles the request record, and fires the caller's callback.
 func (l *L1Controller) finishLoad(req *loadReq) {
-	l.LoadLatency.Observe(float64(l.eng.Now() - req.start))
+	l.LoadLatency.Observe(uint64(l.eng.Now() - req.start))
 	done := req.done
 	req.done = nil
 	req.next = l.freeReqs
@@ -277,7 +281,7 @@ func (l *L1Controller) tryEnqueueStore(block mem.Addr, start sim.Cycle, done fun
 // acceptStore completes the processor side of a store once it sits in the
 // write buffer.
 func (l *L1Controller) acceptStore(start sim.Cycle, done func()) {
-	l.StoreAcceptDelay.Observe(float64(l.eng.Now() - start))
+	l.StoreAcceptDelay.Observe(uint64(l.eng.Now() - start))
 	if done != nil {
 		l.eng.Schedule(l.cfg.Cache.Latency(), done)
 	}

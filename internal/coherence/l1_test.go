@@ -317,9 +317,9 @@ func TestL1MergedMissLatencyAccounting(t *testing.T) {
 	if n := l1.LoadLatency.Count(); n != 2 {
 		t.Fatalf("latency observations %d, want 2", n)
 	}
-	wantSum := float64(t1) + float64(t2-5)
+	wantSum := uint64(t1) + uint64(t2-5)
 	if got := l1.LoadLatency.Sum(); got != wantSum {
-		t.Fatalf("latency sum %v, want %v (per-waiter issue-to-completion)", got, wantSum)
+		t.Fatalf("latency sum %d, want %d (per-waiter issue-to-completion)", got, wantSum)
 	}
 }
 

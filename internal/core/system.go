@@ -281,7 +281,7 @@ func (s *System) collect() Result {
 
 	var onCycles, lineCycles float64
 	var l2Acc, l2Miss uint64
-	var loadLatSum, loadCount float64
+	var loadLatSum, loadCount uint64
 	var l1Acc, l1Miss uint64
 	for i := range s.cores {
 		res.Instructions += s.cores[i].Instructions.Value()
@@ -294,7 +294,7 @@ func (s *System) collect() Result {
 		l2Miss += s.l2s[i].Misses()
 
 		loadLatSum += s.l1s[i].LoadLatency.Sum()
-		loadCount += float64(s.l1s[i].LoadLatency.Count())
+		loadCount += s.l1s[i].LoadLatency.Count()
 		l1Acc += s.l1s[i].Accesses()
 		l1Miss += s.l1s[i].LoadMisses.Value() + s.l1s[i].StoreMisses.Value()
 
@@ -319,7 +319,9 @@ func (s *System) collect() Result {
 	}
 	res.L2Accesses, res.L2Misses = l2Acc, l2Miss
 	if loadCount > 0 {
-		res.AMAT = loadLatSum / loadCount
+		// Exact below 2^53, so the reported mean is bit-identical to the
+		// former float64 accumulation.
+		res.AMAT = float64(loadLatSum) / float64(loadCount)
 	}
 	if l1Acc > 0 {
 		res.L1MissRate = float64(l1Miss) / float64(l1Acc)

@@ -52,13 +52,25 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// batchEntries sizes the per-core trace buffer: large enough to amortise
+// the one NextBatch interface call per refill down to noise, small enough
+// (6 KB) that the buffer stays hot in the L1 cache between refills.
+const batchEntries = 256
+
 // Core is one processor.
 type Core struct {
-	id     int
-	eng    *sim.Engine
-	cfg    Config
-	l1     MemoryPort
-	stream workload.Stream
+	id  int
+	eng *sim.Engine
+	cfg Config
+	l1  MemoryPort
+
+	// The trace is consumed through a refilled batch buffer: buf[bufPos:
+	// bufLen] holds entries not yet executed, and the stream is only
+	// touched — one interface call — when the buffer runs dry.
+	stream workload.BatchStream
+	buf    []workload.Entry
+	bufPos int
+	bufLen int
 
 	outstandingLoads  int
 	outstandingStores int
@@ -98,7 +110,11 @@ func New(id int, eng *sim.Engine, cfg Config, l1 MemoryPort, stream workload.Str
 	if l1 == nil || stream == nil {
 		return nil, fmt.Errorf("cpu: L1 port and stream are required")
 	}
-	c := &Core{id: id, eng: eng, cfg: cfg, l1: l1, stream: stream}
+	c := &Core{
+		id: id, eng: eng, cfg: cfg, l1: l1,
+		stream: workload.AsBatchStream(stream),
+		buf:    make([]workload.Entry, batchEntries),
+	}
 	c.advanceFn = c.advance
 	c.issuePendingFn = c.issuePending
 	c.loadDoneFn = func() {
@@ -161,8 +177,11 @@ func (c *Core) computeDelay(instrs int) sim.Cycle {
 }
 
 // advance is the core's single execution chain: it consumes trace entries
-// until it must wait for a compute delay (rescheduled) or a structural limit
-// (resumed from a completion callback).
+// from the batch buffer until it must wait for a compute delay
+// (rescheduled) or a structural limit (resumed from a completion
+// callback), refilling the buffer — the only stream interface call — when
+// it runs dry.  Instruction accounting stays per entry so the counter is
+// exact at every cycle the power sampler reads it.
 func (c *Core) advance() {
 	if c.streamDone {
 		return
@@ -178,11 +197,16 @@ func (c *Core) advance() {
 			c.lastStallAt = c.eng.Now()
 			return
 		}
-		entry, ok := c.stream.Next()
-		if !ok {
-			c.finish()
-			return
+		if c.bufPos >= c.bufLen {
+			c.bufLen = c.stream.NextBatch(c.buf)
+			c.bufPos = 0
+			if c.bufLen == 0 {
+				c.finish()
+				return
+			}
 		}
+		entry := c.buf[c.bufPos]
+		c.bufPos++
 		c.Instructions.Add(entry.Instructions())
 		delay := c.computeDelay(entry.ComputeInstrs)
 		if entry.Op == workload.None {

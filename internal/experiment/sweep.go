@@ -34,6 +34,20 @@ type Options struct {
 	Seed uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// ShardIndex / ShardCount partition the sweep's job list across
+	// processes or machines: shard i of n runs the (benchmark, size)
+	// groups whose index in the canonical enumeration (benchmark-major,
+	// then size) is congruent to i mod n.  Whole groups — the baseline
+	// plus every technique of one (benchmark, size) pair — stay together,
+	// so a shard's figures show real baseline-relative values for its own
+	// groups instead of zero cells from a missing baseline.  The partition
+	// is deterministic, disjoint and covering, so n invocations that
+	// differ only in ShardIndex together produce exactly the full sweep.
+	// ShardCount 0 (or 1) disables sharding.  A sharded sweep's figures
+	// contain only the shard's own groups; merging is the caller's
+	// concern.
+	ShardIndex int
+	ShardCount int
 }
 
 // DefaultOptions returns the full paper sweep at the given workload scale.
@@ -66,6 +80,12 @@ func (o Options) Validate() error {
 			return fmt.Errorf("experiment: cache size %d MB invalid", mb)
 		}
 	}
+	if o.ShardCount < 0 {
+		return fmt.Errorf("experiment: ShardCount %d must be non-negative", o.ShardCount)
+	}
+	if o.ShardCount > 0 && (o.ShardIndex < 0 || o.ShardIndex >= o.ShardCount) {
+		return fmt.Errorf("experiment: ShardIndex %d out of range [0,%d)", o.ShardIndex, o.ShardCount)
+	}
 	return nil
 }
 
@@ -94,28 +114,57 @@ const baselineName = "baseline"
 // fail individual jobs.
 var runJob = core.Run
 
+// job is one simulation of the sweep.
+type job struct {
+	key  Key
+	spec decay.Spec
+}
+
+// jobs enumerates this Options' runs in canonical feed order — benchmark-
+// major, then cache size, then the baseline followed by the techniques —
+// after applying the shard filter.  Sharding assigns whole (benchmark,
+// size) groups, never splitting a baseline from its technique runs.
+func (o Options) jobs() []job {
+	var all []job
+	group := 0
+	for _, bench := range o.Benchmarks {
+		for _, mb := range o.CacheSizesMB {
+			take := o.ShardCount <= 1 || group%o.ShardCount == o.ShardIndex
+			group++
+			if !take {
+				continue
+			}
+			all = append(all, job{Key{bench, mb, baselineName}, config.Baseline()})
+			for _, spec := range o.Techniques {
+				all = append(all, job{Key{bench, mb, spec.Name()}, spec})
+			}
+		}
+	}
+	return all
+}
+
+// Jobs returns the run keys this Options would execute, in feed order and
+// after shard filtering; leaksweep uses it for progress reporting and the
+// shard tests assert the partition is disjoint and covering.
+func (o Options) Jobs() []Key {
+	js := o.jobs()
+	keys := make([]Key, len(js))
+	for i, j := range js {
+		keys[i] = j.key
+	}
+	return keys
+}
+
 // Run executes the sweep: every (benchmark, size) pair runs the baseline and
-// every requested technique.  Runs execute in parallel up to
-// Options.Parallelism simultaneous simulations.  The first failing job
-// cancels the rest of the sweep: queued jobs are not fed, and workers skip
-// any job already in flight toward them.
+// every requested technique (restricted to this shard when sharding is
+// enabled).  Runs execute in parallel up to Options.Parallelism simultaneous
+// simulations.  The first failing job cancels the rest of the sweep: queued
+// jobs are not fed, and workers skip any job already in flight toward them.
 func Run(opts Options) (*Sweep, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	type job struct {
-		key  Key
-		spec decay.Spec
-	}
-	var jobs []job
-	for _, bench := range opts.Benchmarks {
-		for _, mb := range opts.CacheSizesMB {
-			jobs = append(jobs, job{Key{bench, mb, baselineName}, config.Baseline()})
-			for _, spec := range opts.Techniques {
-				jobs = append(jobs, job{Key{bench, mb, spec.Name()}, spec})
-			}
-		}
-	}
+	jobs := opts.jobs()
 
 	workers := opts.Parallelism
 	if workers <= 0 {

@@ -124,6 +124,14 @@ type Engine struct {
 	// Executed counts how many events have been dispatched; useful for
 	// progress reporting and for guarding against runaway simulations.
 	Executed uint64
+	// FarEvents counts insertions that missed the near wheel and fell into
+	// the overflow heap (including recurring refires).  Near-wheel
+	// insertion is O(1) while heap insertion pays O(log n) plus heap-fixup
+	// cache misses, so FarEvents/Executed is the direct measure of whether
+	// wheelBits covers a model's latency distribution: a rising ratio says
+	// the wheel needs another level before the heap, a near-zero one says
+	// the current sizing is right.
+	FarEvents uint64
 	// MaxEvents, when non-zero, aborts Run with a panic after that many
 	// events have executed.  It is a safety net for tests.
 	MaxEvents uint64
@@ -208,6 +216,7 @@ func (e *Engine) insert(ev *event) {
 		e.wheelInsert(ev)
 		return
 	}
+	e.FarEvents++
 	e.seq++
 	ev.seq = e.seq
 	heap.Push(&e.far, ev)

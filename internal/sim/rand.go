@@ -83,8 +83,9 @@ func (r *Rand) Geometric(mean float64) int {
 		return 1
 	}
 	p := 1.0 / mean
+	limit := int(mean * 16)
 	n := 1
-	for !r.Bool(p) && n < int(mean*16) {
+	for !r.Bool(p) && n < limit {
 		n++
 	}
 	return n

@@ -32,6 +32,41 @@ func TestFarEventBeyondHorizon(t *testing.T) {
 	}
 }
 
+// FarEvents counts exactly the insertions that missed the near wheel —
+// including recurring refires — so wheel sizing can be judged from a run's
+// FarEvents/Executed ratio instead of guessed.
+func TestFarEventsCounter(t *testing.T) {
+	e := NewEngine()
+	noop := func() {}
+	e.Schedule(1, noop)
+	e.Schedule(wheelSize-1, noop)
+	if e.FarEvents != 0 {
+		t.Fatalf("near-horizon schedules counted as far: %d", e.FarEvents)
+	}
+	e.Schedule(wheelSize, noop)
+	e.Schedule(10*wheelSize, noop)
+	if e.FarEvents != 2 {
+		t.Fatalf("FarEvents = %d after two far schedules, want 2", e.FarEvents)
+	}
+	e.Run()
+	if e.FarEvents != 2 {
+		t.Fatalf("FarEvents moved during execution: %d, want 2", e.FarEvents)
+	}
+	// A recurring event beyond the horizon hits the heap once per refire.
+	fired := 0
+	e.ScheduleRecurring(2*wheelSize, func(Cycle) bool {
+		fired++
+		return fired < 3
+	})
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("recurring fired %d times, want 3", fired)
+	}
+	if e.FarEvents != 5 {
+		t.Fatalf("FarEvents = %d after three far refires, want 5", e.FarEvents)
+	}
+}
+
 func TestFarThenNearSameCycleFIFO(t *testing.T) {
 	// A far-scheduled event and a later near-scheduled event land on the
 	// same cycle: the far one was scheduled first and must run first.

@@ -1,0 +1,43 @@
+package stats
+
+// Microbenchmarks for the per-access collectors.  CycleAcc.Observe sits on
+// the L1 load and store paths (one call per completed access), so it must be
+// a handful of integer ops and 0 allocs/op; the Accumulator bench is kept
+// alongside as the float64 reference it replaced on those paths.
+
+import "testing"
+
+func BenchmarkCycleAccObserve(b *testing.B) {
+	var a CycleAcc
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Observe(uint64(i & 1023))
+	}
+	if a.Count() == 0 {
+		b.Fatal("no samples observed")
+	}
+}
+
+func BenchmarkAccumulatorObserve(b *testing.B) {
+	var a Accumulator
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Observe(float64(i & 1023))
+	}
+	if a.Count() == 0 {
+		b.Fatal("no samples observed")
+	}
+}
+
+// TestCycleAccObserveAllocationFree is the CI tripwire (`make test-allocs`)
+// for the integer collector: observing a sample must not allocate.
+func TestCycleAccObserveAllocationFree(t *testing.T) {
+	var a CycleAcc
+	v := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		a.Observe(v)
+		v++
+	}); allocs != 0 {
+		t.Errorf("CycleAcc.Observe allocates %.1f objects/op, want 0", allocs)
+	}
+}

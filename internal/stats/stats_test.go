@@ -72,6 +72,63 @@ func TestAccumulatorNegativeValues(t *testing.T) {
 	}
 }
 
+func TestCycleAccBasics(t *testing.T) {
+	var a CycleAcc
+	if a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 || a.Sum() != 0 {
+		t.Fatal("empty CycleAcc should report zeros")
+	}
+	for _, v := range []uint64{2, 4, 6, 8} {
+		a.Observe(v)
+	}
+	if a.Count() != 4 {
+		t.Fatalf("count %d, want 4", a.Count())
+	}
+	if a.Sum() != 20 {
+		t.Fatalf("sum %d, want 20", a.Sum())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean %v, want 5", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 8 {
+		t.Fatalf("min/max %d/%d, want 2/8", a.Min(), a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("reset did not clear CycleAcc")
+	}
+}
+
+// CycleAcc's report-time moments must be bit-identical to what the float64
+// Accumulator computes for the same integer samples — that is the contract
+// that lets the hot-path collectors switch representation without moving
+// the golden digest.
+func TestCycleAccMatchesAccumulatorOnIntegers(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var ca CycleAcc
+		var fa Accumulator
+		for _, v := range raw {
+			ca.Observe(uint64(v))
+			fa.Observe(float64(v))
+		}
+		if ca.Count() != fa.Count() {
+			return false
+		}
+		if float64(ca.Sum()) != fa.Sum() {
+			return false
+		}
+		if ca.Mean() != fa.Mean() {
+			return false
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		return float64(ca.Min()) == fa.Min() && float64(ca.Max()) == fa.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRatioHelpers(t *testing.T) {
 	if Ratio(1, 0) != 0 {
 		t.Fatal("Ratio with zero denominator should be 0")

@@ -1,0 +1,59 @@
+package workload
+
+// Stream-ingest microbenchmarks: the same generated trace consumed entry by
+// entry through the Stream interface versus refilled in batches through
+// BatchStream.  The delta is the per-entry interface dispatch plus the
+// single-entry suspension overhead of the lazy generator — the cost the
+// cpu.Core batch buffer removes from every core's hot loop.
+
+import "testing"
+
+// benchStream returns a fresh native stream of a scientific workload.
+func benchStream(b *testing.B) Stream {
+	g, err := ByName("WATER-NS", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Streams(1, 17)[0]
+}
+
+func BenchmarkStreamNext(b *testing.B) {
+	s := benchStream(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		e, ok := s.Next()
+		if !ok {
+			b.StopTimer()
+			s = benchStream(b)
+			b.StartTimer()
+			continue
+		}
+		sink += uint64(e.Addr)
+	}
+	_ = sink
+}
+
+func BenchmarkNextBatch(b *testing.B) {
+	s := AsBatchStream(benchStream(b))
+	buf := make([]Entry, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	done := 0
+	for done < b.N {
+		n := s.NextBatch(buf)
+		if n == 0 {
+			b.StopTimer()
+			s = AsBatchStream(benchStream(b))
+			b.StartTimer()
+			continue
+		}
+		for _, e := range buf[:n] {
+			sink += uint64(e.Addr)
+		}
+		done += n
+	}
+	_ = sink
+}

@@ -28,7 +28,12 @@ type phasedBenchmark struct {
 func (b *phasedBenchmark) Name() string { return b.name }
 
 // Streams implements Generator: every core gets an independent RNG stream
-// derived from the seed and its index, over the same shared region.
+// derived from the seed and its index, over the same shared region.  The
+// streams generate lazily, batch by batch, instead of materialising the
+// whole trace up front: a full-scale scientific workload is tens of MB of
+// entries per core, and generating straight into the consumer's batch
+// buffer keeps the resident footprint at a few hundred bytes per stream
+// while producing the identical entry sequence.
 func (b *phasedBenchmark) Streams(cores int, seed uint64) []Stream {
 	if cores <= 0 {
 		cores = 1
@@ -40,18 +45,84 @@ func (b *phasedBenchmark) Streams(cores int, seed uint64) []Stream {
 	}
 	streams := make([]Stream, cores)
 	for c := 0; c < cores; c++ {
-		rng := sim.NewRand(seed*1315423911 + uint64(c)*2654435761 + 97)
-		var entries []Entry
-		for it := 0; it < iterations; it++ {
-			for _, p := range b.phases {
-				scaled := p
-				scaled.refs = scaleRefs(p.refs, b.scale)
-				entries = generatePhase(rng, regs, c, scaled, uint64(it), entries)
-			}
+		streams[c] = &phasedStream{
+			bench:        b,
+			regs:         regs,
+			core:         c,
+			iterations:   iterations,
+			rng:          sim.NewRand(seed*1315423911 + uint64(c)*2654435761 + 97),
+			recentPriv:   newRecentBlocks(48),
+			recentShared: newRecentBlocks(48),
 		}
-		streams[c] = NewSliceStream(entries)
 	}
 	return streams
+}
+
+// phasedStream is one core's lazily generated reference stream.  It
+// implements both Stream and BatchStream; batching is the native path
+// (phaseGen writes straight into the caller's buffer), Next is a batch of
+// one.
+type phasedStream struct {
+	bench      *phasedBenchmark
+	regs       regions
+	core       int
+	rng        *sim.Rand
+	iterations int
+
+	// iter / phase locate the next phase instance to start; gen is the
+	// in-flight instance when active.
+	iter   int
+	phase  int
+	active bool
+	gen    phaseGen
+
+	// Read-modify-write candidate pools, reset at each phase boundary (each
+	// phase instance of the eager generator built fresh pools).
+	recentPriv   *recentBlocks
+	recentShared *recentBlocks
+}
+
+// nextPhase starts the next phase instance; false when the stream is done.
+func (s *phasedStream) nextPhase() bool {
+	for s.iter < s.iterations {
+		if s.phase < len(s.bench.phases) {
+			p := s.bench.phases[s.phase]
+			p.refs = scaleRefs(p.refs, s.bench.scale)
+			s.gen.start(p, s.core, uint64(s.iter))
+			s.recentPriv.reset()
+			s.recentShared.reset()
+			s.phase++
+			s.active = true
+			return true
+		}
+		s.phase = 0
+		s.iter++
+	}
+	return false
+}
+
+// NextBatch implements BatchStream.
+func (s *phasedStream) NextBatch(buf []Entry) int {
+	n := 0
+	for n < len(buf) {
+		if !s.active && !s.nextPhase() {
+			break
+		}
+		n += s.gen.generate(s.rng, s.regs, s.recentPriv, s.recentShared, buf[n:])
+		if s.gen.done() {
+			s.active = false
+		}
+	}
+	return n
+}
+
+// Next implements Stream as a batch of one.
+func (s *phasedStream) Next() (Entry, bool) {
+	var one [1]Entry
+	if s.NextBatch(one[:]) == 0 {
+		return Entry{}, false
+	}
+	return one[0], true
 }
 
 // scaleRefs scales a reference count, keeping at least one reference so a

@@ -83,6 +83,46 @@ type Stream interface {
 	Next() (e Entry, ok bool)
 }
 
+// BatchStream produces the reference stream in caller-owned batches: one
+// NextBatch call refills a whole buffer, replacing one interface dispatch
+// per entry with one per batch on the consumer's hot loop.  All built-in
+// generators implement it natively (the phased benchmarks generate straight
+// into the buffer without materialising the trace).
+type BatchStream interface {
+	// NextBatch fills buf with the next entries of the stream and returns
+	// how many were written.  It may return fewer than len(buf); only a
+	// return of 0 (with a non-empty buf) means the stream is exhausted.
+	NextBatch(buf []Entry) int
+}
+
+// AsBatchStream adapts a Stream to the batch interface: streams that
+// implement BatchStream natively are returned as-is, anything else is
+// wrapped in a shim that fills the buffer one Next call per entry, so
+// custom Stream implementations keep working unchanged.
+func AsBatchStream(s Stream) BatchStream {
+	if b, ok := s.(BatchStream); ok {
+		return b
+	}
+	return &streamBatcher{s: s}
+}
+
+// streamBatcher is the compatibility shim behind AsBatchStream.
+type streamBatcher struct{ s Stream }
+
+// NextBatch implements BatchStream by repeated Next calls.
+func (sb *streamBatcher) NextBatch(buf []Entry) int {
+	n := 0
+	for n < len(buf) {
+		e, ok := sb.s.Next()
+		if !ok {
+			break
+		}
+		buf[n] = e
+		n++
+	}
+	return n
+}
+
 // Generator builds the per-core streams of one benchmark.
 type Generator interface {
 	// Name is the benchmark name as used in the paper's figures.
@@ -181,7 +221,15 @@ func (s *sliceStream) Next() (Entry, bool) {
 	return e, true
 }
 
-// NewSliceStream wraps a slice of entries as a Stream.
+// NextBatch implements BatchStream: one memmove per batch.
+func (s *sliceStream) NextBatch(buf []Entry) int {
+	n := copy(buf, s.entries[s.pos:])
+	s.pos += n
+	return n
+}
+
+// NewSliceStream wraps a slice of entries as a Stream.  The returned stream
+// also implements BatchStream.
 func NewSliceStream(entries []Entry) Stream { return &sliceStream{entries: entries} }
 
 // TotalInstructions sums the instruction counts of a slice of entries.
@@ -214,6 +262,19 @@ type regions struct {
 	privBase    []mem.Addr
 	privBytes   uint64
 	line        uint64
+	// offMask is line-1 when line is a power of two (always, for the
+	// built-in benchmarks): the per-entry offset draw then masks instead of
+	// dividing, consuming the same single RNG draw and producing the same
+	// value as Intn (x % 2^k == x & (2^k - 1)).
+	offMask uint64
+}
+
+// lineOffset draws a random byte offset within a cache line.
+func (r regions) lineOffset(rng *sim.Rand) uint64 {
+	if r.offMask != 0 {
+		return rng.Uint64() & r.offMask
+	}
+	return uint64(rng.Intn(int(r.line)))
 }
 
 // newRegions lays out `cores` private regions of privBytes each, followed by
@@ -223,6 +284,9 @@ func newRegions(cores int, privBytes, sharedBytes, line uint64) regions {
 		line = 64
 	}
 	r := regions{sharedBytes: sharedBytes, privBytes: privBytes, line: line}
+	if line&(line-1) == 0 {
+		r.offMask = line - 1
+	}
 	base := mem.Addr(1 << 20) // leave page zero unused
 	r.privBase = make([]mem.Addr, cores)
 	for i := 0; i < cores; i++ {
@@ -317,6 +381,13 @@ type recentBlocks struct {
 
 func newRecentBlocks(n int) *recentBlocks { return &recentBlocks{buf: make([]mem.Addr, 0, n)} }
 
+// reset empties the ring without releasing its backing array, so one pair of
+// pools can be reused across the phase instances of a stream.
+func (rb *recentBlocks) reset() {
+	rb.buf = rb.buf[:0]
+	rb.next = 0
+}
+
 func (rb *recentBlocks) add(a mem.Addr) {
 	if cap(rb.buf) == 0 {
 		return
@@ -336,95 +407,138 @@ func (rb *recentBlocks) pick(rng *sim.Rand) (mem.Addr, bool) {
 	return rb.buf[rng.Intn(len(rb.buf))], true
 }
 
-// generatePhase emits one phase of references for a core.  windowShift
-// selects which hot window of the private region this instance of the phase
-// sweeps (typically the iteration number).
-func generatePhase(rng *sim.Rand, r regions, core int, p phaseParams, windowShift uint64, out []Entry) []Entry {
-	var seq uint64
-	rmwFrac := p.rmwFrac
-	if rmwFrac == 0 {
-		rmwFrac = defaultRMWFrac
-	}
-	spatial := p.spatial
-	if spatial == 0 {
-		spatial = defaultSpatial
-	}
-	// Separate read-modify-write candidate pools per region, so shared
-	// stores only land on shared data and the configured write-sharing
-	// fraction is preserved.
-	recentPriv := newRecentBlocks(48)
-	recentShared := newRecentBlocks(48)
-	var lastBlock mem.Addr
-	lastShared := false
-	haveLast := false
+// phaseGen is the resumable generator of one phase instance (one phase of
+// one iteration on one core).  Suspending between entries is what lets the
+// phased benchmarks produce batches natively: generate fills a caller-owned
+// slice and the stream picks up exactly where it stopped, so the entry
+// sequence is identical for every batch size — including batch size one,
+// the per-entry Stream view.
+type phaseGen struct {
+	// p holds the phase parameters with refs already scaled.
+	p       phaseParams
+	rmwFrac float64
+	spatial float64
+	core    int
 
+	// emitted counts the entries produced so far of the p.refs total.
+	emitted int
+	// seq advances the strided (streaming) private walk.
+	seq uint64
+
+	windowBase   uint64
+	windowBlocks uint64
+
+	lastBlock  mem.Addr
+	lastShared bool
+	haveLast   bool
+}
+
+// start initialises the generator for one phase instance.  windowShift
+// selects which hot window of the private region this instance sweeps
+// (typically the iteration number).
+func (g *phaseGen) start(p phaseParams, core int, windowShift uint64) {
+	g.p = p
+	g.core = core
+	g.emitted = 0
+	g.seq = 0
+	g.lastBlock = 0
+	g.lastShared = false
+	g.haveLast = false
+	g.rmwFrac = p.rmwFrac
+	if g.rmwFrac == 0 {
+		g.rmwFrac = defaultRMWFrac
+	}
+	g.spatial = p.spatial
+	if g.spatial == 0 {
+		g.spatial = defaultSpatial
+	}
 	privBlocks := maxU64(p.privBlocks, 1)
-	windowBlocks := privBlocks
-	windowBase := uint64(0)
+	g.windowBlocks = privBlocks
+	g.windowBase = 0
 	if p.hotWindowFrac > 0 && p.hotWindowFrac < 1 {
-		windowBlocks = maxU64(uint64(float64(privBlocks)*p.hotWindowFrac), 1)
-		nWindows := privBlocks / windowBlocks
+		g.windowBlocks = maxU64(uint64(float64(privBlocks)*p.hotWindowFrac), 1)
+		nWindows := privBlocks / g.windowBlocks
 		if nWindows == 0 {
 			nWindows = 1
 		}
-		windowBase = (windowShift % nWindows) * windowBlocks
+		g.windowBase = (windowShift % nWindows) * g.windowBlocks
 	}
+}
 
-	for i := 0; i < p.refs; i++ {
-		e := Entry{ComputeInstrs: rng.Geometric(p.meanCompute)}
+// done reports whether the phase instance has emitted all its references.
+func (g *phaseGen) done() bool { return g.emitted >= g.p.refs }
+
+// generate fills out with the phase's next entries and returns how many were
+// written; it stops at the end of the buffer or of the phase, whichever
+// comes first.  recentPriv and recentShared are the caller's read-modify-
+// write candidate pools — separate per region, so shared stores only land
+// on shared data and the configured write-sharing fraction is preserved.
+func (g *phaseGen) generate(rng *sim.Rand, r regions, recentPriv, recentShared *recentBlocks, out []Entry) int {
+	// Hoist the per-entry state into locals for the duration of the batch,
+	// restoring the register allocation the one-shot loop had before it
+	// became resumable; everything is written back before returning.
+	lastBlock, lastShared, haveLast := g.lastBlock, g.lastShared, g.haveLast
+	seq, emitted := g.seq, g.emitted
+	n := 0
+	for n < len(out) && emitted < g.p.refs {
+		emitted++
+		e := Entry{ComputeInstrs: rng.Geometric(g.p.meanCompute)}
 		// Spatial locality: with probability `spatial` the reference stays
 		// in the previous block (new offset), which keeps most accesses in
 		// the L1 and makes L2 touches rare, as in the real benchmarks.  The
 		// store probability follows the region of the reused block so the
 		// configured write-sharing mix is preserved.
-		if haveLast && rng.Bool(spatial) {
-			storeP := p.storeFrac
+		if haveLast && rng.Bool(g.spatial) {
+			storeP := g.p.storeFrac
 			if lastShared {
-				storeP = p.sharedStoreFrac
+				storeP = g.p.sharedStoreFrac
 			}
 			if rng.Bool(storeP) {
 				e.Op = Store
 			} else {
 				e.Op = Load
 			}
-			e.Addr = lastBlock + mem.Addr(rng.Intn(int(r.line)))
-			out = append(out, e)
+			e.Addr = lastBlock + mem.Addr(r.lineOffset(rng))
+			out[n] = e
+			n++
 			continue
 		}
-		shared := rng.Bool(p.sharedFrac)
+		shared := rng.Bool(g.p.sharedFrac)
 		var isStore bool
 		if shared {
-			isStore = rng.Bool(p.sharedStoreFrac)
-			if isStore && rng.Bool(rmwFrac) {
+			isStore = rng.Bool(g.p.sharedStoreFrac)
+			if isStore && rng.Bool(g.rmwFrac) {
 				if a, ok := recentShared.pick(rng); ok {
 					e.Addr = a
 					e.Op = Store
 					lastBlock, lastShared, haveLast = mem.BlockAddr(a, r.line), true, true
-					out = append(out, e)
+					out[n] = e
+					n++
 					continue
 				}
 			}
-			blk := uint64(rng.Zipf(int(maxU64(p.sharedBlocks, 1)), p.sharedSkew))
-			e.Addr = r.sharedAddr(blk, uint64(rng.Intn(int(r.line))))
+			blk := uint64(rng.Zipf(int(maxU64(g.p.sharedBlocks, 1)), g.p.sharedSkew))
+			e.Addr = r.sharedAddr(blk, r.lineOffset(rng))
 		} else {
-			isStore = rng.Bool(p.storeFrac)
-			if isStore && rng.Bool(rmwFrac) {
+			isStore = rng.Bool(g.p.storeFrac)
+			if isStore && rng.Bool(g.rmwFrac) {
 				if a, ok := recentPriv.pick(rng); ok {
 					e.Addr = a
 					e.Op = Store
 					lastBlock, lastShared, haveLast = mem.BlockAddr(a, r.line), false, true
-					out = append(out, e)
+					out[n] = e
+					n++
 					continue
 				}
 			}
 			var blk uint64
-			if p.stride > 0 {
-				blk = windowBase + (seq*p.stride)%windowBlocks
+			if g.p.stride > 0 {
+				blk = g.windowBase + (seq*g.p.stride)%g.windowBlocks
 				seq++
 			} else {
-				blk = windowBase + uint64(rng.Zipf(int(windowBlocks), p.privSkew))
+				blk = g.windowBase + uint64(rng.Zipf(int(g.windowBlocks), g.p.privSkew))
 			}
-			e.Addr = r.privateAddr(core, blk, uint64(rng.Intn(int(r.line))))
+			e.Addr = r.privateAddr(g.core, blk, r.lineOffset(rng))
 		}
 		if isStore {
 			e.Op = Store
@@ -439,9 +553,12 @@ func generatePhase(rng *sim.Rand, r regions, core int, p phaseParams, windowShif
 		lastBlock = mem.BlockAddr(e.Addr, r.line)
 		lastShared = shared
 		haveLast = true
-		out = append(out, e)
+		out[n] = e
+		n++
 	}
-	return out
+	g.lastBlock, g.lastShared, g.haveLast = lastBlock, lastShared, haveLast
+	g.seq, g.emitted = seq, emitted
+	return n
 }
 
 func maxU64(a, b uint64) uint64 {
