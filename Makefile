@@ -4,14 +4,15 @@
 
 GO ?= go
 BENCH_SCALE ?= 0.005
-# Packages with the scheduler + data-plane + front-end microbenchmarks used
-# by bench-baseline / bench-compare.
-BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay ./internal/workload ./internal/stats
+# Packages with the scheduler + data-plane + front-end + trace-I/O
+# microbenchmarks used by bench-baseline / bench-compare.
+BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay ./internal/workload ./internal/stats ./internal/trace
 BENCH_COUNT ?= 5
+FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet build test test-allocs bench-smoke bench bench-baseline bench-compare
+.PHONY: ci fmt vet build test test-allocs fuzz-smoke bench-smoke bench bench-baseline bench-compare
 
-ci: fmt vet build test test-allocs bench-smoke
+ci: fmt vet build test test-allocs fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -29,13 +30,18 @@ test:
 	$(GO) test ./...
 
 # test-allocs re-runs the 0-allocs/op guards on the steady-state load-hit,
-# load-miss, decay-tick, victim-selection, stream-refill and stats-observe
-# paths explicitly, so an allocation regression fails CI with a focused
-# message even when the main test run is filtered.
+# load-miss, decay-tick, victim-selection, stream-refill, trace-replay and
+# stats-observe paths explicitly, so an allocation regression fails CI with
+# a focused message even when the main test run is filtered.
 test-allocs:
 	$(GO) test -count 1 -run 'AllocationFree' \
 		./internal/cache ./internal/core ./internal/decay \
-		./internal/workload ./internal/stats
+		./internal/workload ./internal/stats ./internal/trace
+
+# fuzz-smoke runs the trace-reader fuzzer for a short fixed budget: corrupt,
+# truncated or hostile trace files must produce clean errors, never panics.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
 
 # bench-smoke proves the benchmark harness still runs end to end: one
 # iteration of the scheduler microbenchmarks and one reduced-scale

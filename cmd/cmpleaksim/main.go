@@ -7,6 +7,11 @@
 //	cmpleaksim -benchmark WATER-NS -l2mb 4 -technique decay -decay 512K
 //	cmpleaksim -benchmark mpeg2dec -l2mb 8 -technique protocol -baseline
 //	cmpleaksim -benchmark facerec -technique sel_decay -decay 64K -scale 0.25
+//	cmpleaksim -trace water.trc -technique sel_decay -decay 512K
+//
+// -trace replays a recorded binary trace file (see tracegen) through the
+// full decay/coherence pipeline; the run is bit-for-bit identical to the
+// live run the trace was recorded from.
 package main
 
 import (
@@ -17,11 +22,13 @@ import (
 	"strings"
 
 	"cmpleak"
+	"cmpleak/internal/trace"
 )
 
 func main() {
 	var (
 		benchmark = flag.String("benchmark", "WATER-NS", "benchmark name (WATER-NS, FMM, VOLREND, mpeg2enc, mpeg2dec, facerec)")
+		traceFile = flag.String("trace", "", "replay this recorded trace file instead of a synthetic benchmark")
 		l2MB      = flag.Int("l2mb", 4, "total L2 capacity in MB (split across 4 private caches)")
 		technique = flag.String("technique", "decay", "leakage technique: baseline, protocol, decay, sel_decay, adaptive")
 		decayStr  = flag.String("decay", "512K", "decay time in cycles (supports K/M suffixes)")
@@ -50,6 +57,25 @@ func main() {
 	cfg.WorkloadScale = *scale
 	cfg.Seed = *seed
 	cfg.ThermalFeedback = !*noThermal
+
+	if *traceFile != "" {
+		// Replay mode: the trace header dictates the core count and the
+		// "trace:" benchmark scheme feeds the recorded streams through the
+		// normal workload path.  OpenShared verifies the file once and the
+		// scheme resolver reuses the same parsed copy for the run itself.
+		f, err := trace.OpenShared(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		hdr := f.Header()
+		fmt.Fprintf(os.Stderr, "cmpleaksim: replaying %s (benchmark=%s cores=%d scale=%g seed=%d)\n",
+			*traceFile, hdr.Benchmark, hdr.Cores, hdr.Scale, hdr.Seed)
+		cfg = cfg.WithBenchmark("trace:" + *traceFile)
+		// Re-derive the per-core split from -l2mb under the recorded core
+		// count: WithTotalL2MB divided by the default core count above.
+		cfg.Cores = hdr.Cores
+		cfg = cfg.WithTotalL2MB(*l2MB)
+	}
 
 	res, err := cmpleak.Run(cfg)
 	if err != nil {

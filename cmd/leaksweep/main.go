@@ -8,20 +8,26 @@
 //	leaksweep                      # full sweep at the default scale
 //	leaksweep -scale 0.25 -fig 5a  # quarter-length workloads, Figure 5a only
 //	leaksweep -benchmarks WATER-NS,FMM -sizes 2,4 -csv
-//	leaksweep -shard 0/4           # this process runs shard 0 of 4
+//	leaksweep -shard 0/4 -out shard0.json   # this process runs shard 0 of 4
+//	leaksweep -merge 'shard*.json'          # join the shards into one figure set
 //
 // -shard i/n deterministically partitions the sweep's (benchmark, size)
 // groups by index — each group's baseline and technique runs stay together
 // — so n invocations that differ only in i (across processes or machines)
-// together run exactly the full matrix, each job exactly once.  A sharded
-// invocation's tables contain only its own groups; merging is up to the
-// caller.
+// together run exactly the full matrix, each job exactly once.  Each
+// invocation snapshots its results with -out; -merge globs the snapshots,
+// validates they are a disjoint and covering partition of one sweep, and
+// prints the combined report and figures without running anything.
+//
+// Benchmarks may be recorded traces: -benchmarks trace:fmm.trc sweeps a
+// tracegen file through every size and technique like a synthetic name.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -39,8 +45,23 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		shard      = flag.String("shard", "", "run shard i of n sweep jobs, as \"i/n\" (default: all jobs)")
+		out        = flag.String("out", "", "write the run's results as a shard JSON file")
+		merge      = flag.String("merge", "", "merge shard JSON files matching this glob instead of running")
 	)
 	flag.Parse()
+
+	if *merge != "" {
+		if *shard != "" {
+			fatalf("-merge joins completed shards; it cannot be combined with -shard")
+		}
+		sweep, err := mergeShards(*merge)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		writeOut(*out, sweep)
+		emitReport(sweep, *fig, *csv)
+		return
+	}
 
 	opts := cmpleak.DefaultSweepOptions(*scale)
 	opts.Seed = *seed
@@ -81,6 +102,57 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "leaksweep: done in %s\n", time.Since(start).Round(time.Second))
 
+	writeOut(*out, sweep)
+	emitReport(sweep, *fig, *csv)
+}
+
+// mergeShards loads every shard file matching the glob and joins them.
+func mergeShards(glob string) (*cmpleak.Sweep, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("invalid -merge glob: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-merge %q matches no files", glob)
+	}
+	shards := make([]cmpleak.SweepShard, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := cmpleak.ReadSweepShard(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, sf)
+	}
+	fmt.Fprintf(os.Stderr, "leaksweep: merging %d shard files\n", len(paths))
+	return cmpleak.MergeSweepShards(shards...)
+}
+
+// writeOut snapshots the sweep's results as a shard JSON file.
+func writeOut(path string, sweep *cmpleak.Sweep) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	err = cmpleak.WriteSweepShard(f, sweep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "leaksweep: wrote %s\n", path)
+}
+
+// emitReport prints one figure or the full report.
+func emitReport(sweep *cmpleak.Sweep, fig string, csv bool) {
 	figures := map[string]func() cmpleak.FigureTable{
 		"3a": sweep.Figure3a,
 		"3b": sweep.Figure3b,
@@ -93,24 +165,24 @@ func main() {
 	}
 
 	emit := func(t cmpleak.FigureTable) {
-		if *csv {
+		if csv {
 			fmt.Println(t.CSV())
 		} else {
 			fmt.Println(t.Markdown())
 		}
 	}
 
-	if *fig != "" {
-		gen, ok := figures[strings.ToLower(*fig)]
+	if fig != "" {
+		gen, ok := figures[strings.ToLower(fig)]
 		if !ok {
-			fatalf("unknown figure %q (want 3a..6b)", *fig)
+			fatalf("unknown figure %q (want 3a..6b)", fig)
 		}
 		emit(gen())
 		return
 	}
 
 	// Full report: headline per size plus every figure in paper order.
-	for _, mb := range opts.CacheSizesMB {
+	for _, mb := range sweep.Options.CacheSizesMB {
 		fmt.Print(sweep.HeadlineAt(mb).String())
 		fmt.Println()
 	}

@@ -1,10 +1,22 @@
-// Command tracegen dumps the synthetic per-core reference streams of a
-// benchmark in a simple text format (one line per entry), which is useful
-// for inspecting the workload models or feeding other simulators.
+// Command tracegen records the per-core reference streams of a benchmark in
+// the simulator's binary trace format (internal/trace), and inspects
+// existing trace files.
 //
-// Example:
+// Generate a binary trace (the default mode):
 //
-//	tracegen -benchmark FMM -cores 4 -scale 0.1 -limit 20
+//	tracegen -benchmark FMM -cores 4 -scale 0.1 -o fmm.trc
+//	tracegen -benchmark WATER-NS -compress -o water.trc
+//
+// Inspect:
+//
+//	tracegen -dump fmm.trc -limit 20     # text dump of a trace file
+//	tracegen -dump fmm.trc -stats        # per-core summary of a trace file
+//	tracegen -benchmark FMM -text        # text dump straight from the generator
+//	tracegen -benchmark FMM -stats       # per-core summary without writing a file
+//
+// The recorded file replays bit-for-bit through `cmpleaksim -trace` and
+// sweeps through `leaksweep -benchmarks trace:fmm.trc` exactly like a
+// synthetic benchmark.
 package main
 
 import (
@@ -13,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"cmpleak/internal/trace"
 	"cmpleak/internal/workload"
 )
 
@@ -23,9 +36,21 @@ func main() {
 		scale     = flag.Float64("scale", 0.05, "workload scale factor")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		limit     = flag.Int("limit", 0, "max entries per core (0 = all)")
+		out       = flag.String("o", "", "write the binary trace to this file")
+		compress  = flag.Bool("compress", false, "DEFLATE-compress trace chunks")
+		dump      = flag.String("dump", "", "read this trace file instead of generating")
+		text      = flag.Bool("text", false, "print a text dump instead of writing a binary trace")
 		stats     = flag.Bool("stats", false, "print per-core summary statistics instead of the trace")
 	)
 	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if *dump != "" {
+		dumpFile(w, *dump, *limit, *stats)
+		return
+	}
 
 	var gen workload.Generator
 	var err error
@@ -35,37 +60,99 @@ func main() {
 		gen, err = workload.ByName(*benchmark, *scale)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
-
-	for coreID, stream := range gen.Streams(*cores, *seed) {
-		if *stats {
-			printStats(out, coreID, stream)
-			continue
+	switch {
+	case *out != "":
+		record(gen, *out, *cores, *scale, *seed, *limit, *compress)
+	case *stats:
+		for coreID, stream := range gen.Streams(*cores, *seed) {
+			printStats(w, coreID, workload.Drain(stream))
 		}
-		n := 0
-		for {
-			e, ok := stream.Next()
-			if !ok {
-				break
-			}
-			fmt.Fprintf(out, "core=%d compute=%d op=%s addr=%s\n", coreID, e.ComputeInstrs, e.Op, e.Addr)
-			n++
-			if *limit > 0 && n >= *limit {
-				break
-			}
+	case *text:
+		for coreID, stream := range gen.Streams(*cores, *seed) {
+			dumpStream(w, coreID, stream, *limit)
+		}
+	default:
+		fatalf("nothing to do: pass -o <file> to record, or -text/-stats to inspect (-h for help)")
+	}
+}
+
+// record captures the generator into a binary trace file.
+func record(gen workload.Generator, path string, cores int, scale float64, seed uint64, limit int, compress bool) {
+	hdr := trace.Header{
+		Cores:     cores,
+		LineBytes: 64,
+		Seed:      seed,
+		Scale:     scale,
+		Benchmark: gen.Name(),
+	}
+	tw, closeTrace, err := trace.Create(path, hdr, trace.WriterOptions{Compress: compress})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	counts, err := trace.Capture(gen, cores, seed, tw, trace.CaptureOptions{LimitPerCore: limit})
+	if cerr := closeTrace(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		fatalf("recording %s: %v", path, err)
+	}
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %s: %s, %d cores, %d entries, %d bytes (%.2f B/entry)\n",
+		path, gen.Name(), cores, total, st.Size(), float64(st.Size())/float64(max(total, 1)))
+}
+
+// dumpFile prints a recorded trace as text or summary statistics.
+func dumpFile(w *bufio.Writer, path string, limit int, stats bool) {
+	f, err := trace.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hdr := f.Header()
+	fmt.Fprintf(w, "# %s: benchmark=%s cores=%d line=%dB scale=%g seed=%d entries=%v\n",
+		path, hdr.Benchmark, hdr.Cores, hdr.LineBytes, hdr.Scale, hdr.Seed, f.EntryCounts())
+	for core := 0; core < hdr.Cores; core++ {
+		r := f.Stream(core)
+		if stats {
+			printStats(w, core, workload.Drain(r))
+		} else {
+			dumpStream(w, core, r, limit)
+		}
+		if r.Err() != nil {
+			fatalf("reading %s core %d: %v", path, core, r.Err())
+		}
+	}
+}
+
+// dumpStream prints one stream in the one-line-per-entry text format.
+func dumpStream(w *bufio.Writer, coreID int, stream workload.Stream, limit int) {
+	n := 0
+	for {
+		e, ok := stream.Next()
+		if !ok {
+			break
+		}
+		fmt.Fprintf(w, "core=%d compute=%d op=%s addr=%s\n", coreID, e.ComputeInstrs, e.Op, e.Addr)
+		n++
+		if limit > 0 && n >= limit {
+			break
 		}
 	}
 }
 
 // printStats summarises one stream: reference counts, store fraction,
 // instruction count and unique 64-byte blocks.
-func printStats(out *bufio.Writer, coreID int, stream workload.Stream) {
-	entries := workload.Drain(stream)
+func printStats(w *bufio.Writer, coreID int, entries []workload.Entry) {
 	blocks := make(map[uint64]bool)
 	var loads, stores uint64
 	for _, e := range entries {
@@ -84,7 +171,12 @@ func printStats(out *bufio.Writer, coreID int, stream workload.Stream) {
 	if total > 0 {
 		storeFrac = float64(stores) / float64(total)
 	}
-	fmt.Fprintf(out, "core=%d refs=%d loads=%d stores=%d store_frac=%.2f instrs=%d unique_blocks=%d footprint=%dKB\n",
+	fmt.Fprintf(w, "core=%d refs=%d loads=%d stores=%d store_frac=%.2f instrs=%d unique_blocks=%d footprint=%dKB\n",
 		coreID, total, loads, stores, storeFrac,
 		workload.TotalInstructions(entries), len(blocks), len(blocks)*64/1024)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -23,12 +23,19 @@
 package cmpleak
 
 import (
+	"io"
+
 	"cmpleak/internal/config"
 	"cmpleak/internal/core"
 	"cmpleak/internal/decay"
 	"cmpleak/internal/experiment"
 	"cmpleak/internal/sim"
 	"cmpleak/internal/workload"
+
+	// Register the "trace:<path>" benchmark scheme, so recorded binary
+	// traces (internal/trace, written by tracegen or trace.Record) run
+	// anywhere a benchmark name is accepted.
+	_ "cmpleak/internal/trace"
 )
 
 // Config is the full system configuration of one simulation run.  Use
@@ -124,3 +131,19 @@ func DefaultSweepOptions(scale float64) SweepOptions {
 // every benchmark and cache size) and returns the result set from which the
 // figures are generated.
 func RunSweep(opts SweepOptions) (*Sweep, error) { return experiment.Run(opts) }
+
+// SweepShard is the JSON-serialisable snapshot of one sweep invocation
+// (typically one `leaksweep -shard i/n` process).
+type SweepShard = experiment.ShardFile
+
+// WriteSweepShard snapshots a sweep's results as a shard JSON file.
+func WriteSweepShard(w io.Writer, s *Sweep) error { return experiment.WriteShard(w, s) }
+
+// ReadSweepShard reads one shard JSON file.
+func ReadSweepShard(r io.Reader) (SweepShard, error) { return experiment.ReadShard(r) }
+
+// MergeSweepShards validates that the shards form a disjoint, covering
+// partition of one sweep and joins them into the combined result set.
+func MergeSweepShards(shards ...SweepShard) (*Sweep, error) {
+	return experiment.MergeShards(shards...)
+}

@@ -1,0 +1,127 @@
+package core
+
+import "cmpleak/internal/mem"
+
+// blockSet is a compact open-addressing set of block addresses, replacing
+// the decayedBlocks map on the L2 miss path (every L2 miss probes it, every
+// completed turn-off inserts into it — together ~8% of the hot profile next
+// to the MSHR lookups).  Linear probing with Fibonacci hashing keeps a
+// probe to one cache line in the common case; deletion uses backward-shift
+// compaction, so the table never accumulates tombstones no matter how many
+// decay/miss cycles a long run goes through.
+//
+// The zero address is the empty-slot sentinel; a genuine block 0 (possible
+// only for custom workloads — the built-in generators start at 1 MB) is
+// tracked in a side flag.
+type blockSet struct {
+	slots   []mem.Addr
+	mask    uint64
+	n       int // live entries in slots (excludes the zero-address flag)
+	hasZero bool
+}
+
+// blockSetMinSlots is the initial table size; a power of two.
+const blockSetMinSlots = 64
+
+// newBlockSet returns an empty set.
+func newBlockSet() blockSet {
+	return blockSet{slots: make([]mem.Addr, blockSetMinSlots), mask: blockSetMinSlots - 1}
+}
+
+// home is the preferred slot of an address (Fibonacci hashing on the block
+// address; low bits are the line offset and carry no entropy, but the
+// multiply spreads them through the top bits the mask keeps).
+func (s *blockSet) home(a mem.Addr) uint64 {
+	const fib64 = 0x9E3779B97F4A7C15
+	h := uint64(a) * fib64
+	return (h >> 32) & s.mask
+}
+
+// Len returns the number of addresses in the set.
+func (s *blockSet) Len() int {
+	n := s.n
+	if s.hasZero {
+		n++
+	}
+	return n
+}
+
+// Add inserts a block address; inserting an existing address is a no-op.
+func (s *blockSet) Add(a mem.Addr) {
+	if a == 0 {
+		s.hasZero = true
+		return
+	}
+	if (uint64(s.n)+1)*4 > uint64(len(s.slots))*3 {
+		s.grow()
+	}
+	i := s.home(a)
+	for {
+		switch s.slots[i] {
+		case 0:
+			s.slots[i] = a
+			s.n++
+			return
+		case a:
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Take reports whether the address is in the set and removes it if so —
+// the single operation the decay-induced-miss attribution needs.
+func (s *blockSet) Take(a mem.Addr) bool {
+	if a == 0 {
+		had := s.hasZero
+		s.hasZero = false
+		return had
+	}
+	i := s.home(a)
+	for {
+		switch s.slots[i] {
+		case 0:
+			return false
+		case a:
+			s.deleteAt(i)
+			s.n--
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// deleteAt empties slot i, backward-shifting the tail of the probe chain so
+// lookups never need tombstones: each following entry moves into the hole
+// when its home position does not lie strictly between the hole and it.
+func (s *blockSet) deleteAt(i uint64) {
+	j := i
+	for {
+		j = (j + 1) & s.mask
+		a := s.slots[j]
+		if a == 0 {
+			break
+		}
+		// Distance from the entry's home to its slot, vs from the hole to
+		// the slot: if the home is cyclically after the hole, the entry is
+		// reachable without passing the hole and must stay.
+		if (j-s.home(a))&s.mask >= (j-i)&s.mask {
+			s.slots[i] = a
+			i = j
+		}
+	}
+	s.slots[i] = 0
+}
+
+// grow doubles the table and reinserts every entry.
+func (s *blockSet) grow() {
+	old := s.slots
+	s.slots = make([]mem.Addr, len(old)*2)
+	s.mask = uint64(len(s.slots)) - 1
+	s.n = 0
+	for _, a := range old {
+		if a != 0 {
+			s.Add(a)
+		}
+	}
+}

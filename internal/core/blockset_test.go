@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"cmpleak/internal/mem"
+	"cmpleak/internal/sim"
+)
+
+// TestBlockSetMatchesMapReference drives the probe table and a map
+// reference with the same randomized Add/Take workload — including the
+// adversarial patterns of the miss path: re-adds of present keys, takes of
+// absent keys, long insert/delete churn that would rot a tombstone scheme,
+// and clustered line-aligned addresses.
+func TestBlockSetMatchesMapReference(t *testing.T) {
+	rng := sim.NewRand(99)
+	s := newBlockSet()
+	ref := make(map[mem.Addr]bool)
+	// Line-aligned addresses from a small pool force dense probe clusters.
+	pool := make([]mem.Addr, 400)
+	for i := range pool {
+		pool[i] = mem.Addr(uint64(rng.Intn(1<<14)) * 64)
+	}
+	pool[0] = 0 // exercise the zero-sentinel side flag
+	for step := 0; step < 200000; step++ {
+		a := pool[rng.Intn(len(pool))]
+		if rng.Bool(0.5) {
+			s.Add(a)
+			ref[a] = true
+		} else {
+			got := s.Take(a)
+			want := ref[a]
+			delete(ref, a)
+			if got != want {
+				t.Fatalf("step %d: Take(%v) = %v, reference says %v", step, a, got, want)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len() = %d, reference holds %d", step, s.Len(), len(ref))
+		}
+	}
+	// Drain: everything the reference holds must still be present.
+	for a := range ref {
+		if !s.Take(a) {
+			t.Fatalf("drain: %v missing from the set", a)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("drained set reports Len() = %d", s.Len())
+	}
+}
+
+// TestBlockSetGrowth forces growth across several doublings and checks
+// membership survives rehashing.
+func TestBlockSetGrowth(t *testing.T) {
+	s := newBlockSet()
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		s.Add(mem.Addr(i * 64))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len() = %d after %d distinct Adds", s.Len(), n)
+	}
+	for i := 1; i <= n; i++ {
+		if !s.Take(mem.Addr(i * 64)) {
+			t.Fatalf("address %#x lost across growth", i*64)
+		}
+		if s.Take(mem.Addr(i * 64)) {
+			t.Fatalf("address %#x yielded twice", i*64)
+		}
+	}
+}
+
+// BenchmarkBlockSetMissPath mirrors the hot-path mix: a Take that usually
+// misses (most L2 misses are not decay-induced), against the map it
+// replaced.
+func BenchmarkBlockSetMissPath(b *testing.B) {
+	s := newBlockSet()
+	for i := 1; i <= 512; i++ {
+		s.Add(mem.Addr(i * 4096))
+	}
+	b.ReportAllocs()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if s.Take(mem.Addr(uint64(i)*64 + 32)) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkMapMissPath(b *testing.B) {
+	m := make(map[mem.Addr]struct{})
+	for i := 1; i <= 512; i++ {
+		m[mem.Addr(i*4096)] = struct{}{}
+	}
+	b.ReportAllocs()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(uint64(i)*64 + 32)
+		if _, ok := m[a]; ok {
+			delete(m, a)
+			hits++
+		}
+	}
+	_ = hits
+}

@@ -44,8 +44,9 @@ type Controller struct {
 	tech decay.Technique
 
 	// decayedBlocks remembers blocks removed by a decay turn-off so that a
-	// subsequent miss to them can be attributed to the technique.
-	decayedBlocks map[mem.Addr]struct{}
+	// subsequent miss to them can be attributed to the technique; it is a
+	// compact open-addressing probe table because it sits on the miss path.
+	decayedBlocks blockSet
 
 	// freeRetry pools MSHR-full retry records so back-offs schedule a
 	// pre-bound pooled event instead of a fresh closure per retry; freeUpgr
@@ -98,7 +99,7 @@ func NewController(eng *sim.Engine, bus *coherence.Bus, cfg ControllerConfig) (*
 		arr:           arr,
 		mshr:          cache.NewMSHR(cfg.MSHREntries),
 		bus:           bus,
-		decayedBlocks: make(map[mem.Addr]struct{}),
+		decayedBlocks: newBlockSet(),
 	}
 	c.retryFn = c.retryMiss
 	c.fillFn = func(_ any, txn coherence.Transaction, res coherence.BusResult) {
@@ -297,9 +298,8 @@ func (c *Controller) writeHit(block mem.Addr, set, way int, done cache.DoneFunc,
 
 // noteDecayInducedMiss attributes a miss to a previous decay turn-off.
 func (c *Controller) noteDecayInducedMiss(block mem.Addr) {
-	if _, ok := c.decayedBlocks[block]; ok {
+	if c.decayedBlocks.Take(block) {
 		c.DecayInducedMisses.Inc()
-		delete(c.decayedBlocks, block)
 	}
 }
 
@@ -525,7 +525,7 @@ func (c *Controller) completeTurnOff(set, way int, block mem.Addr) {
 	c.setStateRaw(set, way, coherence.Invalid)
 	c.arr.PowerOff(set, way, c.eng.Now())
 	c.TurnOffsCompleted.Inc()
-	c.decayedBlocks[block] = struct{}{}
+	c.decayedBlocks.Add(block)
 	if c.tech != nil {
 		c.tech.OnTurnedOff(c, set, way)
 	}

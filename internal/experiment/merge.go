@@ -1,0 +1,187 @@
+package experiment
+
+// Shard result files and the merge that joins them.  `leaksweep -shard i/n
+// -out shard_i.json` runs one slice of the sweep per process (or machine)
+// and snapshots its results; `leaksweep -merge 'shard_*.json'` validates
+// that the snapshots form a disjoint and covering partition of one sweep
+// and rebuilds the combined Sweep, from which every figure is regenerated
+// exactly as if a single process had run the full matrix.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/core"
+	"cmpleak/internal/decay"
+)
+
+// ShardFile is the JSON-serialisable snapshot of one sweep invocation: the
+// sweep coordinates (everything that must agree across shards), the shard
+// position, and the shard's results.
+type ShardFile struct {
+	Scale        float64      `json:"scale"`
+	Seed         uint64       `json:"seed"`
+	Benchmarks   []string     `json:"benchmarks"`
+	CacheSizesMB []int        `json:"cache_sizes_mb"`
+	Techniques   []decay.Spec `json:"techniques"`
+	ShardIndex   int          `json:"shard_index"`
+	ShardCount   int          `json:"shard_count"`
+	Results      []KeyResult  `json:"results"`
+}
+
+// KeyResult pairs one run key with its result.
+type KeyResult struct {
+	Key    Key         `json:"key"`
+	Result core.Result `json:"result"`
+}
+
+// Snapshot captures the sweep as a shard file, results in stable key order.
+func (s *Sweep) Snapshot() ShardFile {
+	sf := ShardFile{
+		Scale:        s.Options.Scale,
+		Seed:         s.Options.Seed,
+		Benchmarks:   append([]string(nil), s.Options.Benchmarks...),
+		CacheSizesMB: append([]int(nil), s.Options.CacheSizesMB...),
+		Techniques:   append([]decay.Spec(nil), s.Options.Techniques...),
+		ShardIndex:   s.Options.ShardIndex,
+		ShardCount:   s.Options.ShardCount,
+	}
+	for _, k := range s.Keys() {
+		r, _ := s.Result(k.Benchmark, k.SizeMB, k.Technique)
+		sf.Results = append(sf.Results, KeyResult{Key: k, Result: r})
+	}
+	return sf
+}
+
+// WriteShard serialises the sweep's snapshot as indented JSON.
+func WriteShard(w io.Writer, s *Sweep) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Snapshot())
+}
+
+// ReadShard deserialises one shard file.
+func ReadShard(r io.Reader) (ShardFile, error) {
+	var sf ShardFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sf); err != nil {
+		return sf, fmt.Errorf("experiment: decoding shard file: %w", err)
+	}
+	return sf, nil
+}
+
+// options rebuilds the Options a shard file describes (Base is the default
+// system; it plays no role after the runs exist).
+func (sf ShardFile) options() Options {
+	return Options{
+		Base:         config.Default(),
+		Benchmarks:   sf.Benchmarks,
+		CacheSizesMB: sf.CacheSizesMB,
+		Techniques:   sf.Techniques,
+		Scale:        sf.Scale,
+		Seed:         sf.Seed,
+		ShardIndex:   sf.ShardIndex,
+		ShardCount:   sf.ShardCount,
+	}
+}
+
+// coordinates is the part of a shard file every shard must agree on.
+type coordinates struct {
+	Scale        float64
+	Seed         uint64
+	Benchmarks   []string
+	CacheSizesMB []int
+	Techniques   []decay.Spec
+	ShardCount   int
+}
+
+func (sf ShardFile) coordinates() coordinates {
+	return coordinates{
+		Scale:        sf.Scale,
+		Seed:         sf.Seed,
+		Benchmarks:   sf.Benchmarks,
+		CacheSizesMB: sf.CacheSizesMB,
+		Techniques:   sf.Techniques,
+		ShardCount:   sf.ShardCount,
+	}
+}
+
+// MergeShards validates that the shard files form a disjoint, covering
+// partition of one sweep and joins them into the combined Sweep.
+//
+// Checks, in order: every shard agrees on the sweep coordinates (scale,
+// seed, benchmarks, sizes, techniques, shard count); every shard index
+// 0..n-1 appears exactly once; every shard holds exactly the results its
+// shard of the canonical job enumeration prescribes (so shards are
+// pairwise disjoint and their union is exactly the full matrix).
+func MergeShards(shards ...ShardFile) (*Sweep, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("experiment: merge needs at least one shard file")
+	}
+	// Deterministic processing and error messages regardless of glob order.
+	ordered := append([]ShardFile(nil), shards...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ShardIndex < ordered[j].ShardIndex })
+
+	want := ordered[0].coordinates()
+	n := want.ShardCount
+	if n <= 1 {
+		if len(ordered) != 1 {
+			return nil, fmt.Errorf("experiment: %d shard files of an unsharded sweep (want exactly 1)", len(ordered))
+		}
+	} else if len(ordered) != n {
+		return nil, fmt.Errorf("experiment: %d shard files for a %d-way sweep", len(ordered), n)
+	}
+
+	seen := make(map[int]bool, len(ordered))
+	for _, sf := range ordered {
+		if got := sf.coordinates(); !reflect.DeepEqual(got, want) {
+			return nil, fmt.Errorf("experiment: shard %d/%d disagrees on the sweep coordinates:\n  %+v\nvs\n  %+v",
+				sf.ShardIndex, sf.ShardCount, got, want)
+		}
+		if seen[sf.ShardIndex] {
+			return nil, fmt.Errorf("experiment: shard index %d appears twice", sf.ShardIndex)
+		}
+		seen[sf.ShardIndex] = true
+		if n > 1 && (sf.ShardIndex < 0 || sf.ShardIndex >= n) {
+			return nil, fmt.Errorf("experiment: shard index %d out of range [0,%d)", sf.ShardIndex, n)
+		}
+	}
+
+	merged := ordered[0].options()
+	merged.ShardIndex, merged.ShardCount = 0, 0
+	if err := merged.Validate(); err != nil {
+		return nil, err
+	}
+	sweep := &Sweep{Options: merged, results: make(map[Key]core.Result)}
+	for _, sf := range ordered {
+		expect := sf.options().Jobs()
+		if len(sf.Results) != len(expect) {
+			return nil, fmt.Errorf("experiment: shard %d holds %d results, its job slice has %d",
+				sf.ShardIndex, len(sf.Results), len(expect))
+		}
+		expected := make(map[Key]bool, len(expect))
+		for _, k := range expect {
+			expected[k] = true
+		}
+		for _, kr := range sf.Results {
+			if !expected[kr.Key] {
+				return nil, fmt.Errorf("experiment: shard %d holds out-of-shard result %s", sf.ShardIndex, kr.Key)
+			}
+			if _, dup := sweep.results[kr.Key]; dup {
+				return nil, fmt.Errorf("experiment: result %s appears in more than one shard", kr.Key)
+			}
+			sweep.results[kr.Key] = kr.Result
+		}
+	}
+	// Covering: every job of the full matrix is present.
+	for _, k := range merged.Jobs() {
+		if _, ok := sweep.results[k]; !ok {
+			return nil, fmt.Errorf("experiment: merged shards do not cover job %s", k)
+		}
+	}
+	return sweep, nil
+}

@@ -1,0 +1,135 @@
+package experiment
+
+// Merge tests: per-shard snapshots of a sharded sweep must round-trip
+// through JSON and rejoin into a sweep whose figures are identical to the
+// unsharded run; incomplete, overlapping or mismatched shard sets must be
+// rejected with clean errors.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// runShards executes the sweep in n shards and snapshots each through the
+// JSON round-trip.
+func runShards(t *testing.T, n int) []ShardFile {
+	t.Helper()
+	var shards []ShardFile
+	for i := 0; i < n; i++ {
+		opts := shardOptions()
+		opts.ShardIndex, opts.ShardCount = i, n
+		sweep, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteShard(&buf, sweep); err != nil {
+			t.Fatal(err)
+		}
+		sf, err := ReadShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sf)
+	}
+	return shards
+}
+
+func TestMergeShardsReproducesFullSweep(t *testing.T) {
+	full, err := Run(shardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeShards(runShards(t, 3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantKeys, gotKeys := full.Keys(), merged.Keys()
+	if !reflect.DeepEqual(wantKeys, gotKeys) {
+		t.Fatalf("merged key set differs:\n  got:  %v\n  want: %v", gotKeys, wantKeys)
+	}
+	for _, k := range wantKeys {
+		w, _ := full.Result(k.Benchmark, k.SizeMB, k.Technique)
+		g, _ := merged.Result(k.Benchmark, k.SizeMB, k.Technique)
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("%s: merged result differs from the unsharded run", k)
+		}
+	}
+	// The figure set — what -merge exists to produce — must be identical.
+	wantFigs, gotFigs := full.AllFigures(), merged.AllFigures()
+	if !reflect.DeepEqual(wantFigs, gotFigs) {
+		t.Fatalf("merged figures differ from the unsharded sweep")
+	}
+	if want, got := full.Report(), merged.Report(); want != got {
+		t.Fatalf("merged report differs from the unsharded sweep:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+func TestMergeShardsSingleUnshardedFile(t *testing.T) {
+	sweep, err := Run(shardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeShards(sweep.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sweep.Keys(), merged.Keys()) {
+		t.Fatal("single-file merge lost results")
+	}
+}
+
+func TestMergeShardsRejectsBadPartitions(t *testing.T) {
+	shards := runShards(t, 3)
+
+	t.Run("missing-shard", func(t *testing.T) {
+		if _, err := MergeShards(shards[0], shards[2]); err == nil {
+			t.Fatal("merge accepted an incomplete shard set")
+		}
+	})
+	t.Run("duplicate-shard", func(t *testing.T) {
+		if _, err := MergeShards(shards[0], shards[1], shards[1]); err == nil {
+			t.Fatal("merge accepted a duplicated shard")
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		if _, err := MergeShards(); err == nil {
+			t.Fatal("merge accepted zero shard files")
+		}
+	})
+	t.Run("coordinate-mismatch", func(t *testing.T) {
+		bad := shards[1]
+		bad.Seed++
+		if _, err := MergeShards(shards[0], bad, shards[2]); err == nil {
+			t.Fatal("merge accepted shards with different seeds")
+		}
+		bad = shards[1]
+		bad.Benchmarks = append([]string{"FMM"}, bad.Benchmarks[1:]...)
+		if _, err := MergeShards(shards[0], bad, shards[2]); err == nil {
+			t.Fatal("merge accepted shards with different benchmark lists")
+		}
+	})
+	t.Run("foreign-result", func(t *testing.T) {
+		bad := shards[1]
+		bad.Results = append([]KeyResult(nil), bad.Results...)
+		bad.Results[0].Key = shards[0].Results[0].Key
+		if _, err := MergeShards(shards[0], bad, shards[2]); err == nil {
+			t.Fatal("merge accepted a shard holding another shard's result")
+		}
+	})
+	t.Run("truncated-results", func(t *testing.T) {
+		bad := shards[1]
+		bad.Results = bad.Results[:len(bad.Results)-1]
+		if _, err := MergeShards(shards[0], bad, shards[2]); err == nil {
+			t.Fatal("merge accepted a shard with missing results")
+		}
+	})
+}
+
+func TestReadShardRejectsGarbage(t *testing.T) {
+	if _, err := ReadShard(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage shard file accepted")
+	}
+}

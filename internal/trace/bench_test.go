@@ -1,0 +1,102 @@
+package trace_test
+
+// Decode-throughput microbenchmarks: BenchmarkTraceReadBatch is the
+// entries/sec of replaying a recorded file, directly comparable (same
+// per-entry op accounting) to BenchmarkStreamNext / BenchmarkNextBatch in
+// internal/workload — the live-generation rates a trace must at least
+// match for replay to be worth it.  BenchmarkTraceWrite tracks the
+// record-side encode rate.
+
+import (
+	"bytes"
+	"testing"
+
+	"cmpleak/internal/trace"
+	"cmpleak/internal/workload"
+)
+
+// benchTrace builds an in-memory single-core WATER-NS trace.
+func benchTrace(b *testing.B, compress bool) (*trace.File, int) {
+	b.Helper()
+	gen, err := workload.ByName("WATER-NS", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := workload.Drain(gen.Streams(1, 17)[0])
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "WATER-NS"},
+		trace.WriterOptions{Compress: compress})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AppendBatch(0, entries); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := trace.New(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("trace: %d entries in %d bytes (%.2f B/entry)",
+		len(entries), buf.Len(), float64(buf.Len())/float64(len(entries)))
+	return f, len(entries)
+}
+
+// benchRead measures batched decode; one op is one entry.
+func benchRead(b *testing.B, compress bool) {
+	f, _ := benchTrace(b, compress)
+	buf := make([]workload.Entry, 256)
+	r := f.Stream(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	done := 0
+	for done < b.N {
+		n := r.NextBatch(buf)
+		if n == 0 {
+			if r.Err() != nil {
+				b.Fatal(r.Err())
+			}
+			r = f.Stream(0)
+			continue
+		}
+		for _, e := range buf[:n] {
+			sink += uint64(e.Addr)
+		}
+		done += n
+	}
+	_ = sink
+}
+
+func BenchmarkTraceReadBatch(b *testing.B)           { benchRead(b, false) }
+func BenchmarkTraceReadBatchCompressed(b *testing.B) { benchRead(b, true) }
+
+// BenchmarkTraceWrite measures the record-side encode rate (one op = one
+// entry), chunk encoding included, file I/O excluded.
+func BenchmarkTraceWrite(b *testing.B) {
+	gen, err := workload.ByName("WATER-NS", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := workload.Drain(gen.Streams(1, 17)[0])
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		buf.Reset()
+		w, err := trace.NewWriter(&buf, trace.Header{Cores: 1, LineBytes: 64}, trace.WriterOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AppendBatch(0, entries); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		done += len(entries)
+	}
+}

@@ -1,0 +1,71 @@
+package trace_test
+
+// FuzzReader drives the reader with arbitrary bytes: any input must either
+// be rejected with a clean error or replay to exhaustion — never panic, and
+// never loop unboundedly.  `make ci` runs a short -fuzz smoke over the
+// cached corpus on every gate.
+
+import (
+	"bytes"
+	"testing"
+
+	"cmpleak/internal/trace"
+	"cmpleak/internal/workload"
+)
+
+// fuzzSeed builds a small valid trace to seed the corpus.
+func fuzzSeed(compress bool) []byte {
+	entries := []workload.Entry{
+		{ComputeInstrs: 3, Op: workload.Load, Addr: 0x100040},
+		{ComputeInstrs: 0, Op: workload.Store, Addr: 0x100080},
+		{ComputeInstrs: 9, Op: workload.None},
+		{ComputeInstrs: 1, Op: workload.Load, Addr: 0x200000},
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{
+		Cores: 2, LineBytes: 64, Seed: 1, Scale: 0.5, Benchmark: "seed",
+	}, trace.WriterOptions{Compress: compress, ChunkEntries: 3})
+	if err != nil {
+		panic(err)
+	}
+	for i, e := range entries {
+		if err := w.Append(i%2, e); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReader(f *testing.F) {
+	for _, compress := range []bool{false, true} {
+		seed := fuzzSeed(compress)
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+		f.Add(seed[:len(trace.Magic)+2])
+		flipped := append([]byte(nil), seed...)
+		flipped[len(flipped)/2] ^= 0xA5
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(trace.Magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tf, err := trace.New(data)
+		if err != nil {
+			return
+		}
+		// Framing validated: both the eager verifier and the streaming
+		// readers must handle whatever the payloads contain.
+		tf.Verify()
+		buf := make([]workload.Entry, 64)
+		for c := 0; c < tf.Header().Cores; c++ {
+			r := tf.Stream(c)
+			for r.NextBatch(buf) != 0 {
+			}
+			r.Err()
+		}
+	})
+}

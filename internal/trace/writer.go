@@ -1,0 +1,335 @@
+package trace
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cmpleak/internal/workload"
+)
+
+// DefaultChunkEntries is the writer's default entry count per chunk: large
+// enough that the 17-byte chunk header is noise, small enough that a reader
+// never stages more than a few tens of KB per chunk.
+const DefaultChunkEntries = 4096
+
+// WriterOptions tune a Writer.
+type WriterOptions struct {
+	// Compress enables per-chunk DEFLATE compression; a chunk is stored
+	// compressed only when that is actually smaller.
+	Compress bool
+	// ChunkEntries overrides the entries per chunk (default
+	// DefaultChunkEntries, max maxChunkEntries).
+	ChunkEntries int
+}
+
+// Writer streams a trace file: entries are appended per core, buffered into
+// fixed-size chunks, and framed out as each chunk fills.  Nothing is
+// retained beyond one pending chunk per core, so recording is O(cores) in
+// memory regardless of trace length.
+type Writer struct {
+	w      io.Writer
+	hdr    Header
+	opts   WriterOptions
+	pend   [][]workload.Entry // per-core pending entries of the open chunk
+	encBuf []byte             // reused chunk encode buffer
+	cmpBuf []byte             // reused compression output buffer
+	fw     *flate.Writer
+	err    error
+	closed bool
+}
+
+// NewWriter writes the file header and returns a Writer appending to w.
+func NewWriter(w io.Writer, hdr Header, opts WriterOptions) (*Writer, error) {
+	if err := hdr.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ChunkEntries == 0 {
+		opts.ChunkEntries = DefaultChunkEntries
+	}
+	if opts.ChunkEntries < 1 || opts.ChunkEntries > maxChunkEntries {
+		return nil, fmt.Errorf("trace: ChunkEntries %d out of range [1,%d]", opts.ChunkEntries, maxChunkEntries)
+	}
+	tw := &Writer{w: w, hdr: hdr, opts: opts, pend: make([][]workload.Entry, hdr.Cores)}
+	var buf []byte
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	hb := appendHeader(nil, hdr)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hb)))
+	buf = append(buf, hb...)
+	if _, err := w.Write(buf); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return tw, nil
+}
+
+// Header returns the header the writer recorded.
+func (tw *Writer) Header() Header { return tw.hdr }
+
+// Append adds one entry to core's stream.
+func (tw *Writer) Append(core int, e workload.Entry) error {
+	return tw.AppendBatch(core, []workload.Entry{e})
+}
+
+// AppendBatch adds a run of entries to core's stream, flushing chunks as
+// they fill.
+func (tw *Writer) AppendBatch(core int, entries []workload.Entry) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return fmt.Errorf("trace: append after Close")
+	}
+	if core < 0 || core >= tw.hdr.Cores {
+		return tw.fail(fmt.Errorf("trace: core %d out of range [0,%d)", core, tw.hdr.Cores))
+	}
+	// Validate eagerly so a bad entry is reported at its Append, not at an
+	// arbitrary later chunk flush.  The bounds mirror the reader's exactly:
+	// anything accepted here round-trips.
+	for _, e := range entries {
+		if e.ComputeInstrs < 0 || e.ComputeInstrs > math.MaxInt32 {
+			return tw.fail(fmt.Errorf("trace: ComputeInstrs %d outside [0, MaxInt32]", e.ComputeInstrs))
+		}
+		if e.Op > workload.Store {
+			return tw.fail(fmt.Errorf("trace: unknown op kind %d", e.Op))
+		}
+	}
+	for len(entries) > 0 {
+		room := tw.opts.ChunkEntries - len(tw.pend[core])
+		take := len(entries)
+		if take > room {
+			take = room
+		}
+		tw.pend[core] = append(tw.pend[core], entries[:take]...)
+		entries = entries[take:]
+		if len(tw.pend[core]) == tw.opts.ChunkEntries {
+			if err := tw.flushCore(core); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush writes every core's partial chunk to the underlying writer.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	for core := range tw.pend {
+		if err := tw.flushCore(core); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes pending chunks and finalises the trace.  It does not close
+// the underlying writer.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return tw.err
+	}
+	err := tw.Flush()
+	tw.closed = true
+	return err
+}
+
+// fail latches the first error; every later call returns it.
+func (tw *Writer) fail(err error) error {
+	if tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+// flushCore encodes and frames core's pending chunk.
+func (tw *Writer) flushCore(core int) error {
+	entries := tw.pend[core]
+	if len(entries) == 0 {
+		return nil
+	}
+	enc, _, err := appendEntries(tw.encBuf[:0], entries, 0)
+	if err != nil {
+		return tw.fail(err)
+	}
+	tw.encBuf = enc
+	tw.pend[core] = tw.pend[core][:0]
+
+	payload := enc
+	var flags uint8
+	if tw.opts.Compress {
+		if cmp, err := tw.compress(enc); err != nil {
+			return tw.fail(err)
+		} else if len(cmp) < len(enc) {
+			payload, flags = cmp, flagCompressed
+		}
+	}
+	hdr := appendChunkHeader(make([]byte, 0, chunkHeaderLen), chunkHeader{
+		core:      uint32(core),
+		entries:   uint32(len(entries)),
+		encLen:    uint32(len(enc)),
+		storedLen: uint32(len(payload)),
+		flags:     flags,
+	})
+	if _, err := tw.w.Write(hdr); err != nil {
+		return tw.fail(fmt.Errorf("trace: writing chunk header: %w", err))
+	}
+	if _, err := tw.w.Write(payload); err != nil {
+		return tw.fail(fmt.Errorf("trace: writing chunk payload: %w", err))
+	}
+	return nil
+}
+
+// compress DEFLATEs one encoded chunk into the reused compression buffer.
+func (tw *Writer) compress(enc []byte) ([]byte, error) {
+	sink := sliceSink{buf: tw.cmpBuf[:0]}
+	if tw.fw == nil {
+		fw, err := flate.NewWriter(&sink, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		tw.fw = fw
+	} else {
+		tw.fw.Reset(&sink)
+	}
+	if _, err := tw.fw.Write(enc); err != nil {
+		return nil, err
+	}
+	if err := tw.fw.Close(); err != nil {
+		return nil, err
+	}
+	tw.cmpBuf = sink.buf
+	return sink.buf, nil
+}
+
+// sliceSink is an io.Writer appending to a reusable slice.
+type sliceSink struct{ buf []byte }
+
+// Write implements io.Writer.
+func (s *sliceSink) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// Create opens (truncating) a trace file at path and returns a Writer over
+// a buffered file handle plus a closer that flushes everything down to the
+// file.
+func Create(path string, hdr Header, opts WriterOptions) (*Writer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	tw, err := NewWriter(bw, hdr, opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	closeAll := func() error {
+		err := tw.Close()
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+		if ferr := f.Close(); err == nil {
+			err = ferr
+		}
+		return err
+	}
+	return tw, closeAll, nil
+}
+
+// Record tees a stream into a trace writer: the returned stream yields
+// exactly the entries of s (it implements BatchStream natively) while
+// appending everything it passes through to w under the given core index.
+// Check Err after the stream is drained — entry delivery never stalls on a
+// write error, so recording failures surface there.
+func Record(s workload.Stream, w *Writer, core int) *RecordStream {
+	return &RecordStream{s: workload.AsBatchStream(s), w: w, core: core}
+}
+
+// RecordStream is the capturing stream returned by Record.
+type RecordStream struct {
+	s    workload.BatchStream
+	w    *Writer
+	core int
+	err  error
+}
+
+// NextBatch implements workload.BatchStream, teeing the delivered entries.
+func (r *RecordStream) NextBatch(buf []workload.Entry) int {
+	n := r.s.NextBatch(buf)
+	if n > 0 && r.err == nil {
+		r.err = r.w.AppendBatch(r.core, buf[:n])
+	}
+	return n
+}
+
+// Next implements workload.Stream as a batch of one.
+func (r *RecordStream) Next() (workload.Entry, bool) {
+	var one [1]workload.Entry
+	if r.NextBatch(one[:]) == 0 {
+		return workload.Entry{}, false
+	}
+	return one[0], true
+}
+
+// Err returns the first recording error.
+func (r *RecordStream) Err() error { return r.err }
+
+// CaptureOptions tune Capture.
+type CaptureOptions struct {
+	// LimitPerCore caps the entries recorded per stream (0 = everything).
+	LimitPerCore int
+}
+
+// Capture drains every stream of a generator into a trace writer,
+// interleaving cores in batch-sized slices the way a live multi-core
+// simulation would, and returns the per-core entry counts.  The caller
+// still owns the writer (call Close/Flush afterwards).
+func Capture(gen workload.Generator, cores int, seed uint64, w *Writer, opts CaptureOptions) ([]uint64, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("trace: Capture needs at least one core")
+	}
+	streams := gen.Streams(cores, seed)
+	batched := make([]workload.BatchStream, len(streams))
+	for i, s := range streams {
+		batched[i] = workload.AsBatchStream(s)
+	}
+	counts := make([]uint64, len(streams))
+	live := len(streams)
+	done := make([]bool, len(streams))
+	buf := make([]workload.Entry, 256)
+	for live > 0 {
+		for i, s := range batched {
+			if done[i] {
+				continue
+			}
+			room := buf
+			if lim := opts.LimitPerCore; lim > 0 {
+				left := uint64(lim) - counts[i]
+				if left < uint64(len(room)) {
+					room = room[:left]
+				}
+			}
+			n := 0
+			if len(room) > 0 {
+				n = s.NextBatch(room)
+			}
+			if n == 0 {
+				done[i] = true
+				live--
+				continue
+			}
+			if err := w.AppendBatch(i, room[:n]); err != nil {
+				return counts, err
+			}
+			counts[i] += uint64(n)
+		}
+	}
+	return counts, nil
+}

@@ -24,6 +24,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"cmpleak/internal/mem"
 	"cmpleak/internal/sim"
@@ -162,14 +163,32 @@ func (c Class) String() string {
 // registry of named benchmarks.
 var registry = map[string]func(scale float64) Generator{}
 
+// schemes maps a name prefix ("trace" for "trace:<path>") to a resolver
+// building a generator from the rest of the name.  Schemes let packages
+// layered above workload (the trace subsystem) plug whole benchmark
+// families into ByName without this package importing them.
+var schemes = map[string]func(rest string, scale float64) (Generator, error){}
+
 // Register adds a benchmark constructor to the registry; scale multiplies
 // the reference count so experiments can trade accuracy for run time.
 func Register(name string, ctor func(scale float64) Generator) {
 	registry[name] = ctor
 }
 
+// RegisterScheme installs a resolver for benchmark names of the form
+// "<scheme>:<rest>"; ByName consults schemes before the plain registry, so
+// a recorded trace ("trace:fmm.trc") sweeps exactly like a synthetic name.
+func RegisterScheme(scheme string, resolve func(rest string, scale float64) (Generator, error)) {
+	schemes[scheme] = resolve
+}
+
 // ByName returns the named benchmark generator at the given scale.
 func ByName(name string, scale float64) (Generator, error) {
+	if scheme, rest, ok := strings.Cut(name, ":"); ok {
+		if resolve, found := schemes[scheme]; found {
+			return resolve(rest, scale)
+		}
+	}
 	ctor, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
