@@ -9,10 +9,15 @@ BENCH_SCALE ?= 0.005
 BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay ./internal/workload ./internal/stats ./internal/trace
 BENCH_COUNT ?= 5
 FUZZTIME ?= 5s
+# Minimum total statement coverage (percent) enforced by `make cover`.
+COVER_FLOOR ?= 70
 
-.PHONY: ci fmt vet build test test-allocs fuzz-smoke bench-smoke bench bench-baseline bench-compare
+.PHONY: ci fmt vet build test test-allocs cover fuzz-smoke bench-smoke bench bench-baseline bench-compare
 
-ci: fmt vet build test test-allocs fuzz-smoke bench-smoke
+# cover runs the full test suite (instrumented) and fails on any test
+# failure, so ci does not also run the plain `test` target — that would
+# execute every test twice for no extra guarantee.
+ci: fmt vet build cover test-allocs fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -38,10 +43,23 @@ test-allocs:
 		./internal/cache ./internal/core ./internal/decay \
 		./internal/workload ./internal/stats ./internal/trace
 
-# fuzz-smoke runs the trace-reader fuzzer for a short fixed budget: corrupt,
-# truncated or hostile trace files must produce clean errors, never panics.
+# cover measures atomic-mode statement coverage across the whole module and
+# fails when the total drops below COVER_FLOOR percent, so a PR cannot grow
+# untested surface silently.
+cover:
+	@mkdir -p .bench
+	$(GO) test -count 1 -covermode=atomic -coverprofile=.bench/cover.out ./...
+	@total=$$($(GO) tool cover -func=.bench/cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < floor) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# fuzz-smoke runs the parser fuzzers for a short fixed budget: corrupt,
+# truncated or hostile trace files and scenario files must produce clean
+# errors, never panics.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime $(FUZZTIME) ./internal/scenario
 
 # bench-smoke proves the benchmark harness still runs end to end: one
 # iteration of the scheduler microbenchmarks and one reduced-scale

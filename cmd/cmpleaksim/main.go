@@ -18,8 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"cmpleak"
 	"cmpleak/internal/trace"
@@ -40,11 +38,7 @@ func main() {
 	)
 	flag.Parse()
 
-	decayCycles, err := parseCycles(*decayStr)
-	if err != nil {
-		fatalf("invalid -decay: %v", err)
-	}
-	spec, err := techniqueSpec(*technique, decayCycles)
+	spec, err := techniqueSpec(*technique, *decayStr)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -99,40 +93,14 @@ func main() {
 	}
 }
 
-// parseCycles parses "512K", "1M" or a plain number into cycles.
-func parseCycles(s string) (cmpleak.Cycle, error) {
-	s = strings.TrimSpace(strings.ToUpper(s))
-	mult := uint64(1)
-	switch {
-	case strings.HasSuffix(s, "K"):
-		mult = 1024
-		s = strings.TrimSuffix(s, "K")
-	case strings.HasSuffix(s, "M"):
-		mult = 1024 * 1024
-		s = strings.TrimSuffix(s, "M")
-	}
-	v, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		return 0, err
-	}
-	return cmpleak.Cycle(v * mult), nil
-}
-
-// techniqueSpec maps the flag value to a technique specification.
-func techniqueSpec(name string, decayCycles cmpleak.Cycle) (cmpleak.TechniqueSpec, error) {
+// techniqueSpec maps the -technique/-decay flag pair to a specification via
+// the shared parser: decay-family names get the -decay interval appended.
+func techniqueSpec(name, decayStr string) (cmpleak.TechniqueSpec, error) {
 	switch name {
-	case "baseline":
-		return cmpleak.Baseline(), nil
-	case "protocol":
-		return cmpleak.Protocol(), nil
-	case "decay":
-		return cmpleak.Decay(decayCycles), nil
-	case "sel_decay":
-		return cmpleak.SelectiveDecay(decayCycles), nil
-	case "adaptive":
-		return cmpleak.AdaptiveDecay(decayCycles), nil
+	case "decay", "sel_decay", "adaptive":
+		return cmpleak.ParseTechnique(name + ":" + decayStr)
 	default:
-		return cmpleak.TechniqueSpec{}, fmt.Errorf("unknown technique %q", name)
+		return cmpleak.ParseTechnique(name)
 	}
 }
 

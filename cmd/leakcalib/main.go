@@ -1,0 +1,126 @@
+// Command leakcalib measures simulation throughput: it replays a recorded
+// binary trace (see tracegen) through the full decay/coherence/power
+// pipeline and reports sim_cycles/sec, events/sec and the engine's
+// far-event ratio — the calibration numbers that size full-paper-scale
+// sweeps.  Replay takes workload generation off the critical path (trace
+// decode sustains ~100 M entries/s), so what leakcalib times is the
+// simulator itself.
+//
+// Examples:
+//
+//	tracegen -benchmark WATER-NS -scale 0.5 -o water05.trc
+//	leakcalib -trace water05.trc
+//	leakcalib -trace water05.trc -technique sel_decay:64K -l2mb 8 -runs 3
+//
+// With -runs > 1 every run is timed separately and the best run is
+// summarised (the first run pays the page-cache and verify cost of the
+// trace file; steady-state throughput is what capacity planning needs).
+// The far-event ratio (FarEvents/Executed) reports how often the timing
+// wheel overflowed to the far heap — it should stay ~1e-4; a jump means the
+// wheel is undersized for the configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cmpleak"
+	"cmpleak/internal/core"
+	"cmpleak/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "recorded trace file to replay (required)")
+		technique = flag.String("technique", "decay:512K", "technique spec (baseline, protocol, decay:512K, sel_decay:64K, adaptive:128K)")
+		l2MB      = flag.Int("l2mb", 4, "total L2 capacity in MB")
+		runs      = flag.Int("runs", 3, "timed replay runs (best run is reported)")
+		noThermal = flag.Bool("no-thermal-feedback", false, "disable the leakage-temperature loop")
+	)
+	flag.Parse()
+
+	if *traceFile == "" {
+		fatalf("-trace is required (record one with tracegen)")
+	}
+	if *runs < 1 {
+		fatalf("-runs must be at least 1")
+	}
+	spec, err := cmpleak.ParseTechnique(*technique)
+	if err != nil {
+		fatalf("invalid -technique: %v", err)
+	}
+
+	f, err := trace.OpenShared(*traceFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hdr := f.Header()
+	var entries uint64
+	for _, n := range f.EntryCounts() {
+		entries += n
+	}
+	fmt.Printf("leakcalib: %s (benchmark=%s cores=%d scale=%g seed=%d, %d entries)\n",
+		*traceFile, hdr.Benchmark, hdr.Cores, hdr.Scale, hdr.Seed, entries)
+
+	cfg := cmpleak.DefaultConfig().
+		WithBenchmark("trace:" + *traceFile).
+		WithTechnique(spec)
+	cfg.Cores = hdr.Cores
+	cfg = cfg.WithTotalL2MB(*l2MB)
+	cfg.ThermalFeedback = !*noThermal
+
+	type sample struct {
+		wall         time.Duration
+		cycles       uint64
+		executed     uint64
+		far          uint64
+		cyclesPerSec float64
+		eventsPerSec float64
+	}
+	best := sample{}
+	for i := 0; i < *runs; i++ {
+		s, err := core.NewSystem(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		start := time.Now()
+		res, err := s.Run()
+		wall := time.Since(start)
+		if err != nil {
+			fatalf("replay failed: %v", err)
+		}
+		eng := s.Engine()
+		smp := sample{
+			wall:     wall,
+			cycles:   uint64(res.Cycles),
+			executed: eng.Executed,
+			far:      eng.FarEvents,
+		}
+		secs := wall.Seconds()
+		smp.cyclesPerSec = float64(smp.cycles) / secs
+		smp.eventsPerSec = float64(smp.executed) / secs
+		fmt.Printf("run %d: sim_cycles=%d wall=%s sim_cycles/sec=%.3g events=%d events/sec=%.3g far_events=%d (ratio %.2g)\n",
+			i+1, smp.cycles, wall.Round(time.Millisecond), smp.cyclesPerSec,
+			smp.executed, smp.eventsPerSec, smp.far, ratio(smp.far, smp.executed))
+		if smp.cyclesPerSec > best.cyclesPerSec {
+			best = smp
+		}
+	}
+	fmt.Printf("best: sim_cycles/sec=%.4g  events/sec=%.4g  entries/sec=%.4g  far-event ratio=%.2g  (%s %s, %d MB L2, %d cores)\n",
+		best.cyclesPerSec, best.eventsPerSec, float64(entries)/best.wall.Seconds(),
+		ratio(best.far, best.executed), hdr.Benchmark, spec.Name(), *l2MB, hdr.Cores)
+}
+
+func ratio(far, executed uint64) float64 {
+	if executed == 0 {
+		return 0
+	}
+	return float64(far) / float64(executed)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "leakcalib: "+format+"\n", args...)
+	os.Exit(1)
+}

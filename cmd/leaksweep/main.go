@@ -8,8 +8,18 @@
 //	leaksweep                      # full sweep at the default scale
 //	leaksweep -scale 0.25 -fig 5a  # quarter-length workloads, Figure 5a only
 //	leaksweep -benchmarks WATER-NS,FMM -sizes 2,4 -csv
+//	leaksweep -scenario scenarios/paper.json        # declarative matrix
 //	leaksweep -shard 0/4 -out shard0.json   # this process runs shard 0 of 4
 //	leaksweep -merge 'shard*.json'          # join the shards into one figure set
+//
+// -scenario runs a declarative experiment matrix instead of the flag-driven
+// sweep: the JSON file names the benchmark, size, technique, core-count and
+// seed axes (plus per-axis overrides) and expands deterministically into one
+// or more sweeps ("cells").  scenarios/paper.json is the paper's own figure
+// matrix.  -shard and -out compose with it — each cell is sharded
+// identically, and a multi-cell scenario writes one -out file per cell with
+// the cell name spliced in before the extension — so scenario shards merge
+// byte-identically through -merge, exactly like flag-driven ones.
 //
 // -shard i/n deterministically partitions the sweep's (benchmark, size)
 // groups by index — each group's baseline and technique runs stay together
@@ -41,11 +51,12 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all six)")
 		sizes      = flag.String("sizes", "", "comma-separated total L2 sizes in MB (default: 1,2,4,8)")
+		scenario   = flag.String("scenario", "", "run the declarative scenario file instead of the flag-driven sweep")
 		fig        = flag.String("fig", "", "print only one figure: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b")
 		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		shard      = flag.String("shard", "", "run shard i of n sweep jobs, as \"i/n\" (default: all jobs)")
-		out        = flag.String("out", "", "write the run's results as a shard JSON file")
+		out        = flag.String("out", "", "write the run's results as a shard JSON file (one per cell with -scenario)")
 		merge      = flag.String("merge", "", "merge shard JSON files matching this glob instead of running")
 	)
 	flag.Parse()
@@ -54,7 +65,10 @@ func main() {
 		if *shard != "" {
 			fatalf("-merge joins completed shards; it cannot be combined with -shard")
 		}
-		sweep, err := mergeShards(*merge)
+		if *scenario != "" {
+			fatalf("-merge joins completed shards; it cannot be combined with -scenario")
+		}
+		sweep, err := cmpleak.MergeSweepShardGlob(*merge)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -63,16 +77,29 @@ func main() {
 		return
 	}
 
-	opts := cmpleak.DefaultSweepOptions(*scale)
-	opts.Seed = *seed
-	opts.Parallelism = *parallel
+	shardIndex, shardCount := 0, 0
 	if *shard != "" {
 		i, n, err := parseShard(*shard)
 		if err != nil {
 			fatalf("invalid -shard: %v", err)
 		}
-		opts.ShardIndex, opts.ShardCount = i, n
+		shardIndex, shardCount = i, n
 	}
+
+	if *scenario != "" {
+		for _, name := range []string{"benchmarks", "sizes", "scale", "seed"} {
+			if flagWasSet(name) {
+				fatalf("-scenario files declare the %s axis; drop -%s", name, name)
+			}
+		}
+		runScenario(*scenario, shardIndex, shardCount, *parallel, *out, *fig, *csv)
+		return
+	}
+
+	opts := cmpleak.DefaultSweepOptions(*scale)
+	opts.Seed = *seed
+	opts.Parallelism = *parallel
+	opts.ShardIndex, opts.ShardCount = shardIndex, shardCount
 	if *benchmarks != "" {
 		opts.Benchmarks = splitList(*benchmarks)
 	}
@@ -88,48 +115,84 @@ func main() {
 		opts.CacheSizesMB = mbs
 	}
 
+	sweep := runSweep(opts, "")
+	writeOut(*out, sweep)
+	emitReport(sweep, *fig, *csv)
+}
+
+// runScenario expands the scenario file and runs every cell.
+func runScenario(path string, shardIndex, shardCount, parallel int, out, fig string, csv bool) {
+	sc, err := cmpleak.LoadScenario(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cells, err := sc.Expand(cmpleak.DefaultConfig())
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "leaksweep: scenario %s expands to %d cell(s)\n", path, len(cells))
+	for _, cell := range cells {
+		opts := cell.Options
+		opts.ShardIndex, opts.ShardCount = shardIndex, shardCount
+		opts.Parallelism = parallel
+		if len(cells) > 1 {
+			// Cell banners separate the per-cell reports for humans; under
+			// -csv they go to stderr so stdout stays machine-parseable.
+			if csv {
+				fmt.Fprintf(os.Stderr, "== %s ==\n", cell.Name)
+			} else {
+				fmt.Printf("== %s ==\n\n", cell.Name)
+			}
+		}
+		sweep := runSweep(opts, cell.Name)
+		writeOut(cellOutPath(out, cell.Name, len(cells) > 1), sweep)
+		emitReport(sweep, fig, csv)
+	}
+}
+
+// cellOutPath derives the -out file of one cell: the path itself for a
+// single-cell scenario, the cell name spliced in before the extension
+// otherwise ("res.json" + "paper/c8-seed1" -> "res.paper-c8-seed1.json").
+func cellOutPath(out, cellName string, multi bool) string {
+	if out == "" || !multi {
+		return out
+	}
+	safe := strings.NewReplacer("/", "-", " ", "_").Replace(cellName)
+	ext := filepath.Ext(out)
+	return strings.TrimSuffix(out, ext) + "." + safe + ext
+}
+
+// runSweep executes one sweep with progress logging.
+func runSweep(opts cmpleak.SweepOptions, label string) *cmpleak.Sweep {
 	runs := len(opts.Jobs())
+	prefix := "leaksweep"
+	if label != "" {
+		prefix = "leaksweep[" + label + "]"
+	}
 	if opts.ShardCount > 1 {
-		fmt.Fprintf(os.Stderr, "leaksweep: running %d simulations (shard %d/%d, scale=%.3g)...\n",
-			runs, opts.ShardIndex, opts.ShardCount, *scale)
+		fmt.Fprintf(os.Stderr, "%s: running %d simulations (shard %d/%d, scale=%.3g)...\n",
+			prefix, runs, opts.ShardIndex, opts.ShardCount, opts.Scale)
 	} else {
-		fmt.Fprintf(os.Stderr, "leaksweep: running %d simulations (scale=%.3g)...\n", runs, *scale)
+		fmt.Fprintf(os.Stderr, "%s: running %d simulations (scale=%.3g)...\n", prefix, runs, opts.Scale)
 	}
 	start := time.Now()
 	sweep, err := cmpleak.RunSweep(opts)
 	if err != nil {
 		fatalf("sweep failed: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "leaksweep: done in %s\n", time.Since(start).Round(time.Second))
-
-	writeOut(*out, sweep)
-	emitReport(sweep, *fig, *csv)
+	fmt.Fprintf(os.Stderr, "%s: done in %s\n", prefix, time.Since(start).Round(time.Second))
+	return sweep
 }
 
-// mergeShards loads every shard file matching the glob and joins them.
-func mergeShards(glob string) (*cmpleak.Sweep, error) {
-	paths, err := filepath.Glob(glob)
-	if err != nil {
-		return nil, fmt.Errorf("invalid -merge glob: %w", err)
-	}
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("-merge %q matches no files", glob)
-	}
-	shards := make([]cmpleak.SweepShard, 0, len(paths))
-	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
 		}
-		sf, err := cmpleak.ReadSweepShard(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		shards = append(shards, sf)
-	}
-	fmt.Fprintf(os.Stderr, "leaksweep: merging %d shard files\n", len(paths))
-	return cmpleak.MergeSweepShards(shards...)
+	})
+	return set
 }
 
 // writeOut snapshots the sweep's results as a shard JSON file.

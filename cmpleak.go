@@ -29,6 +29,7 @@ import (
 	"cmpleak/internal/core"
 	"cmpleak/internal/decay"
 	"cmpleak/internal/experiment"
+	"cmpleak/internal/scenario"
 	"cmpleak/internal/sim"
 	"cmpleak/internal/workload"
 
@@ -147,3 +148,34 @@ func ReadSweepShard(r io.Reader) (SweepShard, error) { return experiment.ReadSha
 func MergeSweepShards(shards ...SweepShard) (*Sweep, error) {
 	return experiment.MergeShards(shards...)
 }
+
+// MergeSweepShardGlob loads every shard file matching the glob and merges
+// them; a glob matching no files is an explicit error, never an empty
+// report.
+func MergeSweepShardGlob(glob string) (*Sweep, error) {
+	return experiment.MergeShardGlob(glob)
+}
+
+// ParseTechnique parses a textual technique specification ("baseline",
+// "protocol", "decay:512K", "sel_decay:64K", "adaptive:128K", or a compact
+// figure label like "decay512K").
+func ParseTechnique(s string) (TechniqueSpec, error) { return decay.ParseSpec(s) }
+
+// ParseCycles parses a cycle count with the paper's K/M suffixes ("512K",
+// "1M", "8192").
+func ParseCycles(s string) (Cycle, error) { return decay.ParseCycles(s) }
+
+// Scenario is one parsed declarative experiment matrix (see
+// internal/scenario for the schema); Expand turns it into self-contained
+// sweep options.
+type Scenario = scenario.File
+
+// ScenarioCell is one expanded experiment of a scenario: a label plus the
+// SweepOptions that reproduce it.
+type ScenarioCell = scenario.Cell
+
+// LoadScenario reads, parses and validates the scenario file at path.
+func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario parses and validates scenario JSON held in memory.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }

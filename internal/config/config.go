@@ -110,6 +110,23 @@ func (s System) WithTotalL2MB(totalMB int) System {
 	return out
 }
 
+// WithCores returns a copy of the system with the given core count while
+// preserving the total L2 capacity: the per-core private cache shrinks or
+// grows so the aggregate stays what it was (the scenario layer sweeps core
+// counts at fixed total cache, as the paper fixes total capacity per
+// figure).  cores must divide the total capacity evenly — in practice a
+// power of two, which the scenario layer enforces; a non-dividing count
+// truncates and the resulting geometry fails Validate.
+func (s System) WithCores(cores int) System {
+	out := s
+	total := s.TotalL2Bytes()
+	out.Cores = cores
+	if cores > 0 {
+		out.L2.SizeBytes = total / uint64(cores)
+	}
+	return out
+}
+
 // WithTechnique returns a copy of the system using the given technique.
 func (s System) WithTechnique(spec decay.Spec) System {
 	out := s
@@ -135,8 +152,8 @@ func (s System) Validate() error {
 	if s.Cores <= 0 {
 		return fmt.Errorf("config: Cores must be positive")
 	}
-	if s.Cores > int(thermal.L2Bank3-thermal.L2Bank0)+1 {
-		return fmt.Errorf("config: the floorplan supports at most 4 cores, got %d", s.Cores)
+	if s.Cores > thermal.MaxCores {
+		return fmt.Errorf("config: the floorplan supports at most %d cores, got %d", thermal.MaxCores, s.Cores)
 	}
 	if s.Core.IssueWidth <= 0 || s.Core.MaxOutstandingLoads <= 0 || s.Core.MaxOutstandingStores <= 0 {
 		return fmt.Errorf("config: core parameters must be positive")

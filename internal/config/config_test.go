@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cmpleak/internal/decay"
+	"cmpleak/internal/thermal"
 	"cmpleak/internal/workload"
 )
 
@@ -55,7 +56,7 @@ func TestWithTechniqueAndBenchmark(t *testing.T) {
 func TestValidationCatchesErrors(t *testing.T) {
 	mutations := map[string]func(*System){
 		"zero cores":          func(s *System) { s.Cores = 0 },
-		"too many cores":      func(s *System) { s.Cores = 16 },
+		"too many cores":      func(s *System) { s.Cores = thermal.MaxCores + 1 },
 		"bad issue width":     func(s *System) { s.Core.IssueWidth = 0 },
 		"bad L2 geometry":     func(s *System) { s.L2.LineBytes = 48 },
 		"line size mismatch":  func(s *System) { s.L2.LineBytes = 128 },
@@ -144,5 +145,28 @@ func TestPaperSweepDefinitions(t *testing.T) {
 	}
 	if Baseline().Kind != decay.KindAlwaysOn {
 		t.Fatal("baseline must be always-on")
+	}
+}
+
+func TestWithCoresPreservesTotalCapacity(t *testing.T) {
+	base := Default().WithTotalL2MB(4) // 4 cores x 1 MB
+	for _, cores := range []int{1, 2, 4, 8} {
+		s := base.WithCores(cores)
+		if s.Cores != cores {
+			t.Fatalf("cores %d, want %d", s.Cores, cores)
+		}
+		if got := s.TotalL2Bytes(); got != 4*1024*1024 {
+			t.Fatalf("%d cores: total L2 %d bytes, want 4 MB", cores, got)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+	}
+	// The per-core split must follow WithTotalL2MB applied after the core
+	// count change too (the scenario layer relies on either order working).
+	a := Default().WithCores(8).WithTotalL2MB(2)
+	b := Default().WithTotalL2MB(2).WithCores(8)
+	if a.L2.SizeBytes != b.L2.SizeBytes || a.L2.SizeBytes != 2*1024*1024/8 {
+		t.Fatalf("per-core split order-dependent: %d vs %d", a.L2.SizeBytes, b.L2.SizeBytes)
 	}
 }

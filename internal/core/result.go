@@ -3,7 +3,6 @@ package core
 import (
 	"cmpleak/internal/power"
 	"cmpleak/internal/sim"
-	"cmpleak/internal/thermal"
 )
 
 // Result gathers everything a single simulation run produces; the experiment
@@ -54,8 +53,9 @@ type Result struct {
 	Energy  power.Breakdown
 	EnergyJ float64
 
-	// Temperatures at the end of the run, and the hottest block observed.
-	FinalTempsC [thermal.NumBlocks]float64
+	// Temperatures at the end of the run in floorplan block order (cores,
+	// L2 banks, bus — 2*Cores+1 entries), and the hottest block observed.
+	FinalTempsC []float64
 	MaxTempC    float64
 
 	// Technique activity.

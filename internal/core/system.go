@@ -33,6 +33,7 @@ type System struct {
 	coresDone int
 
 	// Energy integration state (per thermal sample).
+	blockPower      []float64 // reused per-sample power map, floorplan order
 	breakdown       power.Breakdown
 	lastSample      sim.Cycle
 	lastInstrs      []uint64
@@ -61,7 +62,7 @@ func NewSystem(cfg config.System) (*System, error) {
 	s := &System{cfg: cfg, eng: sim.NewEngine(), tech: tech}
 	s.memory = mem.New(s.eng, cfg.Memory)
 	s.bus = coherence.NewBus(s.eng, s.memory, cfg.Bus)
-	s.thermal, err = thermal.New(cfg.Thermal)
+	s.thermal, err = thermal.New(cfg.Thermal, cfg.Cores)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +112,7 @@ func NewSystem(cfg config.System) (*System, error) {
 		s.cores[i] = core
 	}
 
+	s.blockPower = make([]float64, s.thermal.NumBlocks())
 	s.lastInstrs = make([]uint64, cfg.Cores)
 	s.lastL1Accesses = make([]uint64, cfg.Cores)
 	s.lastL2Accesses = make([]uint64, cfg.Cores)
@@ -183,7 +185,10 @@ func (s *System) samplePowerAndThermal(now sim.Cycle) {
 	dt := s.cfg.Power.CyclesToSeconds(interval)
 	p := s.cfg.Power
 
-	var blockPower [thermal.NumBlocks]float64
+	blockPower := s.blockPower
+	for i := range blockPower {
+		blockPower[i] = 0
+	}
 	counterLeak := 0.0
 	if s.tech.HasDecayCounters() {
 		counterLeak = p.DecayCounterLeakFraction
@@ -191,8 +196,8 @@ func (s *System) samplePowerAndThermal(now sim.Cycle) {
 	areaOverhead := s.tech.AreaOverhead()
 
 	for i := range s.cores {
-		coreTemp := s.thermal.Temp(thermal.CoreBlock(i))
-		l2Temp := s.thermal.Temp(thermal.L2Block(i))
+		coreTemp := s.thermal.Temp(s.thermal.CoreBlock(i))
+		l2Temp := s.thermal.Temp(s.thermal.L2Block(i))
 		if !s.cfg.ThermalFeedback {
 			coreTemp = s.cfg.Thermal.InitialC
 			l2Temp = s.cfg.Thermal.InitialC
@@ -244,8 +249,8 @@ func (s *System) samplePowerAndThermal(now sim.Cycle) {
 		s.breakdown.L2Leakage += l2Leak
 		s.breakdown.DecayOverhead += decayDyn
 
-		blockPower[thermal.CoreBlock(i)] = (coreDyn + coreLeak + l1Dyn + l1Leak) / dt
-		blockPower[thermal.L2Block(i)] = (l2Dyn + l2Leak + decayDyn) / dt
+		blockPower[s.thermal.CoreBlock(i)] = (coreDyn + coreLeak + l1Dyn + l1Leak) / dt
+		blockPower[s.thermal.L2Block(i)] = (l2Dyn + l2Leak + decayDyn) / dt
 	}
 
 	busTxns := s.bus.Transactions.Value()
@@ -253,7 +258,7 @@ func (s *System) samplePowerAndThermal(now sim.Cycle) {
 	busEnergy := power.BusEnergy(p, busTxns-s.lastBusTxns, busBytes-s.lastBusBytes)
 	s.lastBusTxns, s.lastBusBytes = busTxns, busBytes
 	s.breakdown.Bus += busEnergy
-	blockPower[thermal.BusBlock] = busEnergy / dt
+	blockPower[s.thermal.Bus()] = busEnergy / dt
 
 	if s.cfg.ThermalFeedback {
 		s.thermal.Step(blockPower, dt)

@@ -1,0 +1,77 @@
+package decay
+
+import "testing"
+
+func TestParseCycles(t *testing.T) {
+	cases := map[string]uint64{
+		"512K": 512 * 1024,
+		"64k":  64 * 1024,
+		"1M":   1 << 20,
+		"8192": 8192,
+		" 2M ": 2 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseCycles(in)
+		if err != nil {
+			t.Errorf("ParseCycles(%q): %v", in, err)
+		} else if uint64(got) != want {
+			t.Errorf("ParseCycles(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "K", "12Q", "-5", "99999999999999999999M"} {
+		if _, err := ParseCycles(in); err == nil {
+			t.Errorf("ParseCycles(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := map[string]Spec{
+		"baseline":      {Kind: KindAlwaysOn},
+		"protocol":      {Kind: KindProtocol},
+		"decay:512K":    {Kind: KindDecay, DecayCycles: 512 * 1024},
+		"sel_decay:64K": {Kind: KindSelectiveDecay, DecayCycles: 64 * 1024},
+		"adaptive:1M":   {Kind: KindAdaptive, DecayCycles: 1 << 20},
+		// Compact figure labels round-trip too.
+		"decay128K":     {Kind: KindDecay, DecayCycles: 128 * 1024},
+		"sel_decay512K": {Kind: KindSelectiveDecay, DecayCycles: 512 * 1024},
+		"adaptive8K":    {Kind: KindAdaptive, DecayCycles: 8 * 1024},
+	}
+	for in, want := range cases {
+		got, err := ParseSpec(in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{
+		"", "turbo", "decay", "decay:", "decay:0", "decay:huge",
+		"protocol:512K", "baseline:1K", "sel_decay", "decayK",
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", in)
+		}
+	}
+}
+
+// TestParseSpecRoundTripsNames pins ParseSpec(spec.Name()) == spec for every
+// configuration the paper sweeps, so figure labels are valid scenario input.
+func TestParseSpecRoundTripsNames(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindAlwaysOn},
+		{Kind: KindProtocol},
+		{Kind: KindDecay, DecayCycles: 512 * 1024},
+		{Kind: KindDecay, DecayCycles: 64 * 1024},
+		{Kind: KindSelectiveDecay, DecayCycles: 128 * 1024},
+		{Kind: KindAdaptive, DecayCycles: 8 * 1024},
+	}
+	for _, spec := range specs {
+		got, err := ParseSpec(spec.Name())
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec.Name(), err)
+		} else if got != spec {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", spec.Name(), got, spec)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 
@@ -28,9 +30,13 @@ type ShardFile struct {
 	Benchmarks   []string     `json:"benchmarks"`
 	CacheSizesMB []int        `json:"cache_sizes_mb"`
 	Techniques   []decay.Spec `json:"techniques"`
-	ShardIndex   int          `json:"shard_index"`
-	ShardCount   int          `json:"shard_count"`
-	Results      []KeyResult  `json:"results"`
+	// Cores is the core count of the sweep's system (0 in files written
+	// before the scenario layer's core-count axis existed; treated as the
+	// paper's 4).
+	Cores      int         `json:"cores,omitempty"`
+	ShardIndex int         `json:"shard_index"`
+	ShardCount int         `json:"shard_count"`
+	Results    []KeyResult `json:"results"`
 }
 
 // KeyResult pairs one run key with its result.
@@ -47,6 +53,7 @@ func (s *Sweep) Snapshot() ShardFile {
 		Benchmarks:   append([]string(nil), s.Options.Benchmarks...),
 		CacheSizesMB: append([]int(nil), s.Options.CacheSizesMB...),
 		Techniques:   append([]decay.Spec(nil), s.Options.Techniques...),
+		Cores:        s.Options.Base.Cores,
 		ShardIndex:   s.Options.ShardIndex,
 		ShardCount:   s.Options.ShardCount,
 	}
@@ -75,10 +82,15 @@ func ReadShard(r io.Reader) (ShardFile, error) {
 }
 
 // options rebuilds the Options a shard file describes (Base is the default
-// system; it plays no role after the runs exist).
+// system at the recorded core count; beyond Cores it plays no role after the
+// runs exist).
 func (sf ShardFile) options() Options {
+	base := config.Default()
+	if sf.Cores > 0 {
+		base = base.WithCores(sf.Cores)
+	}
 	return Options{
-		Base:         config.Default(),
+		Base:         base,
 		Benchmarks:   sf.Benchmarks,
 		CacheSizesMB: sf.CacheSizesMB,
 		Techniques:   sf.Techniques,
@@ -96,16 +108,25 @@ type coordinates struct {
 	Benchmarks   []string
 	CacheSizesMB []int
 	Techniques   []decay.Spec
+	Cores        int
 	ShardCount   int
 }
 
 func (sf ShardFile) coordinates() coordinates {
+	cores := sf.Cores
+	if cores == 0 {
+		// Files written before the cores field existed describe the paper's
+		// 4-core system; normalising here lets them merge with files written
+		// by newer binaries for the same sweep.
+		cores = config.Default().Cores
+	}
 	return coordinates{
 		Scale:        sf.Scale,
 		Seed:         sf.Seed,
 		Benchmarks:   sf.Benchmarks,
 		CacheSizesMB: sf.CacheSizesMB,
 		Techniques:   sf.Techniques,
+		Cores:        cores,
 		ShardCount:   sf.ShardCount,
 	}
 }
@@ -184,4 +205,31 @@ func MergeShards(shards ...ShardFile) (*Sweep, error) {
 		}
 	}
 	return sweep, nil
+}
+
+// MergeShardGlob loads every shard file matching the glob and merges them.
+// A glob that matches no files is an explicit error — never an empty merged
+// report: a typo in the pattern must not look like a successful sweep.
+func MergeShardGlob(glob string) (*Sweep, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: invalid shard glob %q: %w", glob, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("experiment: shard glob %q matches no files", glob)
+	}
+	shards := make([]ShardFile, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := ReadShard(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, sf)
+	}
+	return MergeShards(shards...)
 }

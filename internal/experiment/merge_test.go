@@ -7,7 +7,12 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -131,5 +136,76 @@ func TestMergeShardsRejectsBadPartitions(t *testing.T) {
 func TestReadShardRejectsGarbage(t *testing.T) {
 	if _, err := ReadShard(bytes.NewReader([]byte("not json"))); err == nil {
 		t.Fatal("garbage shard file accepted")
+	}
+}
+
+// TestMergeShardGlob covers the file-glob front door: shard files written to
+// disk merge exactly like in-memory ones, and a glob matching no files is an
+// explicit error — a typo'd pattern must never look like a successful (empty)
+// sweep.
+func TestMergeShardGlob(t *testing.T) {
+	dir := t.TempDir()
+	full, err := Run(shardOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sf := range runShards(t, 3) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		if err := enc.Encode(sf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("shard%d.json", i)), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeShardGlob(filepath.Join(dir, "shard*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Digest(), full.Digest(); got != want {
+		t.Fatalf("glob-merged digest %s != unsharded %s", got, want)
+	}
+
+	t.Run("empty-glob", func(t *testing.T) {
+		_, err := MergeShardGlob(filepath.Join(dir, "nothing*.json"))
+		if err == nil {
+			t.Fatal("empty glob reported success instead of an error")
+		}
+		if !strings.Contains(err.Error(), "matches no files") {
+			t.Fatalf("empty-glob error %q does not say the glob matched nothing", err)
+		}
+	})
+	t.Run("invalid-glob", func(t *testing.T) {
+		if _, err := MergeShardGlob("[unclosed"); err == nil {
+			t.Fatal("invalid glob pattern accepted")
+		}
+	})
+	t.Run("unreadable-shard", func(t *testing.T) {
+		bad := filepath.Join(dir, "shard_bad.json")
+		if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MergeShardGlob(filepath.Join(dir, "shard*.json")); err == nil {
+			t.Fatal("corrupt shard file accepted")
+		}
+	})
+}
+
+// TestMergeShardsAcceptsLegacyCoresField: shard files written before the
+// cores coordinate existed (field absent -> 0) must merge with files written
+// by newer binaries for the same 4-core sweep.
+func TestMergeShardsAcceptsLegacyCoresField(t *testing.T) {
+	shards := runShards(t, 3)
+	legacy := shards[1]
+	legacy.Cores = 0
+	if _, err := MergeShards(shards[0], legacy, shards[2]); err != nil {
+		t.Fatalf("legacy shard (cores=0) rejected against cores=4 peers: %v", err)
+	}
+	// A genuinely different core count must still be rejected.
+	foreign := shards[1]
+	foreign.Cores = 8
+	if _, err := MergeShards(shards[0], foreign, shards[2]); err == nil {
+		t.Fatal("merge accepted shards with different core counts")
 	}
 }

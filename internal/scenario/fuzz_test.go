@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"cmpleak/internal/config"
+)
+
+// FuzzScenario hammers the parser with hostile input: whatever the bytes,
+// Parse must return a File or a wrapped sentinel error — never panic — and
+// any file that parses must expand cleanly (expansion is pure validation
+// plus arithmetic, so a parse-accepted scenario has no excuse to blow up
+// later).  Wired into `make fuzz-smoke` next to the trace reader fuzzer.
+func FuzzScenario(f *testing.F) {
+	if data, err := os.ReadFile("../../scenarios/paper.json"); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"benchmarks":["FMM"],"l2_sizes_mb":[1],"techniques":["protocol"]}`))
+	f.Add([]byte(`{"version":1,"benchmarks":["trace:x.trc"],"l2_sizes_mb":[2,4],"techniques":["decay:8K"],` +
+		`"core_counts":[2,8],"seeds":[3],"scale":0.5,"overrides":[{"l2_mb":2,"decay_cycles":"4K"}]}`))
+	f.Add([]byte(`{"version":9}`))
+	f.Add([]byte(`{"version":1,"benchmarks":["FMM","FMM"],"l2_sizes_mb":[3],"techniques":["turbo"]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{}`))
+
+	sentinels := []error{
+		ErrSyntax, ErrVersion, ErrEmptyAxis, ErrDuplicate, ErrBenchmark,
+		ErrSize, ErrTechnique, ErrCores, ErrScale, ErrOverride,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Parse(data)
+		if err != nil {
+			for _, s := range sentinels {
+				if errors.Is(err, s) {
+					return
+				}
+			}
+			t.Fatalf("Parse error %v wraps no scenario sentinel", err)
+		}
+		cells, err := parsed.Expand(config.Default())
+		if err != nil {
+			t.Fatalf("Parse accepted a scenario Expand rejects: %v", err)
+		}
+		if len(cells) == 0 {
+			t.Fatal("valid scenario expanded to zero cells")
+		}
+	})
+}

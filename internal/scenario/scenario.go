@@ -1,0 +1,422 @@
+// Package scenario is the declarative experiment-matrix layer: a versioned
+// JSON file names a cross-product of axes — benchmarks (synthetic or
+// "trace:<path>"), total L2 sizes, decay techniques, core counts, seeds and
+// a workload scale — plus per-axis overrides, and expands deterministically
+// into experiment.Options cells the existing sweep/shard/merge machinery
+// runs unchanged.
+//
+// A scenario file is the unit of reproduction: scenarios/paper.json is the
+// paper's own figure matrix, and new studies (heterogeneous core counts,
+// longer phases, recorded-trace variants of the benchmarks) are new files,
+// not new flag plumbing.  Expansion is pure — the same file and base system
+// always yield the same cells in the same order — so per-cell golden digests
+// and sharded runs compose: `leaksweep -scenario f.json -shard i/n -out ...`
+// invocations merge byte-identically to the unsharded run.
+//
+// # Schema (version 1)
+//
+//	{
+//	  "version": 1,              required; readers reject other versions
+//	  "name": "paper",           optional label used in cell names
+//	  "benchmarks": [...],       registered names or "trace:<path>"
+//	  "l2_sizes_mb": [1,2,4,8],  total L2 capacities; powers of two
+//	  "techniques": [...],       decay.ParseSpec syntax ("decay:512K");
+//	                             the always-on baseline runs implicitly
+//	  "core_counts": [4],        optional, default [4]
+//	  "seeds": [1],              optional, default [1]
+//	  "scale": 1.0,              optional, default 1.0
+//	  "overrides": [             optional per-axis parameter overrides
+//	    {"l2_mb": 1, "cores": 0, "decay_cycles": "64K", "scale": 0.5}
+//	  ]
+//	}
+//
+// An override applies to every cell matching its selectors (l2_mb and cores;
+// zero/omitted means "any") and rewrites the decay interval of every
+// decay-family technique and/or the workload scale for those cells.  Sizes
+// whose effective parameters diverge are split into separate cells, each a
+// self-contained experiment.Options.
+//
+// # Versioning rules
+//
+// The version field is bumped whenever the schema changes incompatibly —
+// removing or renaming a field, or changing the meaning of an existing one.
+// Parsers reject versions they do not know with ErrVersion and unknown
+// fields with ErrSyntax instead of guessing: a scenario silently
+// misinterpreted is a wrong figure, not a crash, so strictness is the only
+// safe default.  Adding a new optional field is a version bump for writers
+// that use it.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/decay"
+	"cmpleak/internal/experiment"
+	"cmpleak/internal/sim"
+	"cmpleak/internal/thermal"
+	"cmpleak/internal/workload"
+)
+
+// Version is the schema version this package reads and writes.
+const Version = 1
+
+// Validation errors: every rejection wraps one of these sentinels, so
+// callers can classify failures with errors.Is while the message names the
+// offending field and value.
+var (
+	// ErrSyntax reports malformed JSON or an unknown field.
+	ErrSyntax = errors.New("scenario: malformed file")
+	// ErrVersion reports a scenario written under an unknown schema version.
+	ErrVersion = errors.New("scenario: unsupported version")
+	// ErrEmptyAxis reports a required axis with no values.
+	ErrEmptyAxis = errors.New("scenario: empty axis")
+	// ErrDuplicate reports the same value listed twice in one axis.
+	ErrDuplicate = errors.New("scenario: duplicate axis value")
+	// ErrBenchmark reports an unknown benchmark name.
+	ErrBenchmark = errors.New("scenario: unknown benchmark")
+	// ErrSize reports a non-positive or non-power-of-two L2 size.
+	ErrSize = errors.New("scenario: invalid L2 size")
+	// ErrTechnique reports an unparseable or baseline technique entry.
+	ErrTechnique = errors.New("scenario: invalid technique")
+	// ErrCores reports a core count outside [1, thermal.MaxCores].
+	ErrCores = errors.New("scenario: invalid core count")
+	// ErrScale reports a non-positive or non-finite workload scale.
+	ErrScale = errors.New("scenario: invalid scale")
+	// ErrOverride reports an override with bad selectors or parameters.
+	ErrOverride = errors.New("scenario: invalid override")
+)
+
+// File is one parsed scenario.
+type File struct {
+	Version    int        `json:"version"`
+	Name       string     `json:"name,omitempty"`
+	Benchmarks []string   `json:"benchmarks"`
+	L2SizesMB  []int      `json:"l2_sizes_mb"`
+	Techniques []string   `json:"techniques"`
+	CoreCounts []int      `json:"core_counts,omitempty"`
+	Seeds      []uint64   `json:"seeds,omitempty"`
+	Scale      float64    `json:"scale,omitempty"`
+	Overrides  []Override `json:"overrides,omitempty"`
+}
+
+// Override rewrites parameters for the cells its selectors match.
+type Override struct {
+	// L2MB / Cores select the cells the override applies to; zero means
+	// "every value of that axis".  Non-zero selectors must name a value the
+	// axis actually contains.
+	L2MB  int `json:"l2_mb,omitempty"`
+	Cores int `json:"cores,omitempty"`
+	// DecayCycles, when set, replaces the decay interval of every
+	// decay-family technique of the matching cells (decay.ParseCycles
+	// syntax, e.g. "64K").
+	DecayCycles string `json:"decay_cycles,omitempty"`
+	// Scale, when non-zero, replaces the workload scale of the matching
+	// cells.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// Cell is one expanded experiment: a self-contained Options plus the label
+// scenario-level tooling reports it under.
+type Cell struct {
+	// Name identifies the cell within the scenario ("paper/c4-seed1").
+	Name string
+	// Options is ready for experiment.Run (sharding fields zero; the caller
+	// sets them to slice the cell across processes).
+	Options experiment.Options
+}
+
+// Parse decodes and validates a scenario file.
+func Parse(data []byte) (File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return f, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	// Trailing garbage after the document is as suspect as a bad field.
+	if err := dec.Decode(new(json.RawMessage)); err == nil {
+		return f, fmt.Errorf("%w: trailing data after the scenario object", ErrSyntax)
+	}
+	if err := f.Validate(); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// Load reads and parses the scenario file at path.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Validate checks every axis and override; the first violation is returned
+// wrapped in its sentinel with the offending field named.
+func (f File) Validate() error {
+	if f.Version != Version {
+		return fmt.Errorf("%w: file version %d, this reader supports %d", ErrVersion, f.Version, Version)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("%w: benchmarks", ErrEmptyAxis)
+	}
+	if len(f.L2SizesMB) == 0 {
+		return fmt.Errorf("%w: l2_sizes_mb", ErrEmptyAxis)
+	}
+	if len(f.Techniques) == 0 {
+		return fmt.Errorf("%w: techniques", ErrEmptyAxis)
+	}
+
+	seenBench := map[string]bool{}
+	for _, b := range f.Benchmarks {
+		if seenBench[b] {
+			return fmt.Errorf("%w: benchmarks lists %q twice", ErrDuplicate, b)
+		}
+		seenBench[b] = true
+		if strings.Contains(b, ":") {
+			// Scheme benchmarks ("trace:<path>") resolve at run time — the
+			// file need not exist on the machine that validates the matrix.
+			if _, rest, _ := strings.Cut(b, ":"); rest == "" {
+				return fmt.Errorf("%w: benchmarks entry %q has an empty scheme payload", ErrBenchmark, b)
+			}
+			continue
+		}
+		if _, err := workload.ByName(b, 1.0); err != nil {
+			return fmt.Errorf("%w: benchmarks entry %q", ErrBenchmark, b)
+		}
+	}
+
+	seenSize := map[int]bool{}
+	for _, mb := range f.L2SizesMB {
+		if mb <= 0 || mb&(mb-1) != 0 {
+			return fmt.Errorf("%w: l2_sizes_mb entry %d MB is not a positive power of two", ErrSize, mb)
+		}
+		if seenSize[mb] {
+			return fmt.Errorf("%w: l2_sizes_mb lists %d twice", ErrDuplicate, mb)
+		}
+		seenSize[mb] = true
+	}
+
+	seenTech := map[string]bool{}
+	for _, t := range f.Techniques {
+		spec, err := decay.ParseSpec(t)
+		if err != nil {
+			return fmt.Errorf("%w: techniques entry %q: %v", ErrTechnique, t, err)
+		}
+		if spec.Kind == decay.KindAlwaysOn {
+			return fmt.Errorf("%w: techniques entry %q: the always-on baseline runs implicitly", ErrTechnique, t)
+		}
+		if seenTech[spec.Name()] {
+			return fmt.Errorf("%w: techniques lists %q twice", ErrDuplicate, spec.Name())
+		}
+		seenTech[spec.Name()] = true
+	}
+
+	seenCores := map[int]bool{}
+	for _, c := range f.CoreCounts {
+		if c <= 0 || c > thermal.MaxCores {
+			return fmt.Errorf("%w: core_counts entry %d outside [1,%d]", ErrCores, c, thermal.MaxCores)
+		}
+		if c&(c-1) != 0 {
+			// The total L2 capacity is split evenly across the private
+			// caches; a non-power-of-two count cannot divide a power-of-two
+			// capacity into valid power-of-two cache geometries, so it would
+			// only fail later, deep inside cache validation.
+			return fmt.Errorf("%w: core_counts entry %d is not a power of two", ErrCores, c)
+		}
+		if seenCores[c] {
+			return fmt.Errorf("%w: core_counts lists %d twice", ErrDuplicate, c)
+		}
+		seenCores[c] = true
+	}
+
+	seenSeed := map[uint64]bool{}
+	for _, s := range f.Seeds {
+		if seenSeed[s] {
+			return fmt.Errorf("%w: seeds lists %d twice", ErrDuplicate, s)
+		}
+		seenSeed[s] = true
+	}
+
+	if f.Scale < 0 || math.IsNaN(f.Scale) || math.IsInf(f.Scale, 0) {
+		return fmt.Errorf("%w: scale %v must be positive and finite", ErrScale, f.Scale)
+	}
+
+	for i, ov := range f.Overrides {
+		if ov.DecayCycles == "" && ov.Scale == 0 {
+			return fmt.Errorf("%w: overrides[%d] sets neither decay_cycles nor scale", ErrOverride, i)
+		}
+		if ov.L2MB != 0 && !seenSize[ov.L2MB] {
+			return fmt.Errorf("%w: overrides[%d] selects l2_mb %d, which l2_sizes_mb does not list", ErrOverride, i, ov.L2MB)
+		}
+		if ov.Cores != 0 && len(f.CoreCounts) > 0 && !seenCores[ov.Cores] {
+			return fmt.Errorf("%w: overrides[%d] selects cores %d, which core_counts does not list", ErrOverride, i, ov.Cores)
+		}
+		if ov.Cores != 0 && len(f.CoreCounts) == 0 && ov.Cores != defaultCores {
+			return fmt.Errorf("%w: overrides[%d] selects cores %d, but the scenario runs the default %d", ErrOverride, i, ov.Cores, defaultCores)
+		}
+		if ov.DecayCycles != "" {
+			c, err := decay.ParseCycles(ov.DecayCycles)
+			if err != nil || c == 0 {
+				return fmt.Errorf("%w: overrides[%d] decay_cycles %q", ErrOverride, i, ov.DecayCycles)
+			}
+		}
+		if ov.Scale < 0 || math.IsNaN(ov.Scale) || math.IsInf(ov.Scale, 0) {
+			return fmt.Errorf("%w: overrides[%d] scale %v must be positive and finite", ErrOverride, i, ov.Scale)
+		}
+	}
+	return nil
+}
+
+// defaultCores is the paper's core count, used when core_counts is omitted.
+const defaultCores = 4
+
+// coreCounts returns the effective core-count axis.
+func (f File) coreCounts() []int {
+	if len(f.CoreCounts) == 0 {
+		return []int{defaultCores}
+	}
+	return f.CoreCounts
+}
+
+// seeds returns the effective seed axis.
+func (f File) seeds() []uint64 {
+	if len(f.Seeds) == 0 {
+		return []uint64{1}
+	}
+	return f.Seeds
+}
+
+// scale returns the effective base scale.
+func (f File) scale() float64 {
+	if f.Scale == 0 {
+		return 1.0
+	}
+	return f.Scale
+}
+
+// cellParams is the effective per-size parameter set after overrides; sizes
+// with equal parameters share one experiment.Options.
+type cellParams struct {
+	decayCycles sim.Cycle // 0 = keep each technique's own interval
+	scale       float64
+}
+
+// paramsFor applies the overrides, in declaration order, to one
+// (cores, size) coordinate.
+func (f File) paramsFor(cores, sizeMB int) cellParams {
+	p := cellParams{scale: f.scale()}
+	for _, ov := range f.Overrides {
+		if ov.L2MB != 0 && ov.L2MB != sizeMB {
+			continue
+		}
+		if ov.Cores != 0 && ov.Cores != cores {
+			continue
+		}
+		if ov.DecayCycles != "" {
+			c, _ := decay.ParseCycles(ov.DecayCycles)
+			p.decayCycles = c
+		}
+		if ov.Scale != 0 {
+			p.scale = ov.Scale
+		}
+	}
+	return p
+}
+
+// Expand validates the scenario and expands it into its cells: one
+// experiment.Options per (core count, seed, override-equivalence group of
+// sizes), in deterministic declaration order.  The base system supplies
+// everything the file does not sweep (cache geometry, bus, power, thermal
+// parameters).
+func (f File) Expand(base config.System) ([]Cell, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	specs := make([]decay.Spec, len(f.Techniques))
+	for i, t := range f.Techniques {
+		specs[i], _ = decay.ParseSpec(t) // validated above
+	}
+
+	var cells []Cell
+	for _, cores := range f.coreCounts() {
+		for _, seed := range f.seeds() {
+			// Group sizes by their effective parameters, preserving the
+			// declared size order; groups emit in order of first appearance.
+			type group struct {
+				params cellParams
+				sizes  []int
+			}
+			var groups []*group
+			for _, mb := range f.L2SizesMB {
+				p := f.paramsFor(cores, mb)
+				var g *group
+				for _, cand := range groups {
+					if cand.params == p {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					g = &group{params: p}
+					groups = append(groups, g)
+				}
+				g.sizes = append(g.sizes, mb)
+			}
+			for _, g := range groups {
+				eff := specs
+				if g.params.decayCycles != 0 {
+					eff = make([]decay.Spec, len(specs))
+					for i, s := range specs {
+						if s.DecayCycles != 0 {
+							s.DecayCycles = g.params.decayCycles
+						}
+						eff[i] = s
+					}
+				}
+				cells = append(cells, Cell{
+					Name: f.cellName(cores, seed, g.sizes, len(groups) > 1),
+					Options: experiment.Options{
+						Base:         base.WithCores(cores),
+						Benchmarks:   append([]string(nil), f.Benchmarks...),
+						CacheSizesMB: append([]int(nil), g.sizes...),
+						Techniques:   append([]decay.Spec(nil), eff...),
+						Scale:        g.params.scale,
+						Seed:         seed,
+					},
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// cellName labels one cell ("paper/c4-seed1", plus the size group when
+// overrides split the size axis: "study/c2-seed1-l2_1MB").
+func (f File) cellName(cores int, seed uint64, sizes []int, split bool) string {
+	var b strings.Builder
+	if f.Name != "" {
+		fmt.Fprintf(&b, "%s/", f.Name)
+	}
+	fmt.Fprintf(&b, "c%d-seed%d", cores, seed)
+	if split {
+		parts := make([]string, len(sizes))
+		for i, mb := range sizes {
+			parts[i] = fmt.Sprintf("%d", mb)
+		}
+		fmt.Fprintf(&b, "-l2_%sMB", strings.Join(parts, "+"))
+	}
+	return b.String()
+}

@@ -4,10 +4,14 @@
 // temperatures forward, and the updated temperatures scale the leakage of
 // the next interval.
 //
-// The floorplan follows the CMP of Figure 1: four cores, each with its
-// private L2 bank next to it, and the shared bus in the middle.  Each block
-// has a thermal capacitance and a resistance to the heat sink; adjacent
-// blocks are coupled by lateral resistances.
+// The floorplan generalises the CMP of Figure 1 to N cores: each core sits
+// next to its private L2 bank, the shared bus runs through the middle, and
+// the cores form a row (core i laterally coupled to core i-1).  The paper's
+// system is the N=4 instance; the block order — cores, then banks, then the
+// bus — and the neighbour enumeration are independent of N, so the 4-core
+// model integrates exactly the same floating-point sequence it always did.
+// Each block has a thermal capacitance and a resistance to the heat sink;
+// adjacent blocks are coupled by lateral resistances.
 package thermal
 
 import (
@@ -18,40 +22,50 @@ import (
 // Block identifies one floorplan unit.
 type Block int
 
-// Floorplan block indices for a 4-core CMP.
-const (
-	Core0 Block = iota
-	Core1
-	Core2
-	Core3
-	L2Bank0
-	L2Bank1
-	L2Bank2
-	L2Bank3
-	BusBlock
-	// NumBlocks is the number of floorplan units.
-	NumBlocks
-)
+// MaxCores bounds the floorplan size (the row-of-cores layout stops being
+// physically meaningful long before this).
+const MaxCores = 64
 
-// String names the block.
-func (b Block) String() string {
-	switch b {
-	case Core0, Core1, Core2, Core3:
+// Floorplan is the block layout of an N-core CMP: blocks 0..N-1 are the
+// cores, N..2N-1 the private L2 banks, 2N the shared bus.
+type Floorplan struct {
+	// Cores is the number of core/L2-bank pairs.
+	Cores int
+}
+
+// NumBlocks returns the number of floorplan units.
+func (f Floorplan) NumBlocks() int { return 2*f.Cores + 1 }
+
+// CoreBlock returns the floorplan block of core i.
+func (f Floorplan) CoreBlock(i int) Block { return Block(i) }
+
+// L2Block returns the floorplan block of L2 bank i.
+func (f Floorplan) L2Block(i int) Block { return Block(f.Cores + i) }
+
+// Bus returns the shared-bus block.
+func (f Floorplan) Bus() Block { return Block(2 * f.Cores) }
+
+// Name renders a block label ("core2", "l2bank0", "bus").
+func (f Floorplan) Name(b Block) string {
+	switch {
+	case int(b) < f.Cores:
 		return fmt.Sprintf("core%d", int(b))
-	case L2Bank0, L2Bank1, L2Bank2, L2Bank3:
-		return fmt.Sprintf("l2bank%d", int(b-L2Bank0))
-	case BusBlock:
+	case int(b) < 2*f.Cores:
+		return fmt.Sprintf("l2bank%d", int(b)-f.Cores)
+	case b == f.Bus():
 		return "bus"
 	default:
 		return fmt.Sprintf("Block(%d)", int(b))
 	}
 }
 
-// CoreBlock returns the floorplan block of core i.
-func CoreBlock(i int) Block { return Core0 + Block(i) }
-
-// L2Block returns the floorplan block of L2 bank i.
-func L2Block(i int) Block { return L2Bank0 + Block(i) }
+// Validate checks the floorplan.
+func (f Floorplan) Validate() error {
+	if f.Cores <= 0 || f.Cores > MaxCores {
+		return fmt.Errorf("thermal: floorplan cores %d out of range [1,%d]", f.Cores, MaxCores)
+	}
+	return nil
+}
 
 // Config holds the RC parameters of the model.
 type Config struct {
@@ -111,31 +125,49 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Model integrates block temperatures.
+// Model integrates block temperatures over an N-core floorplan.
 type Model struct {
+	Floorplan
+
 	cfg   Config
-	temps [NumBlocks]float64
-	r     [NumBlocks]float64
-	c     [NumBlocks]float64
+	temps []float64
+	r     []float64
+	c     []float64
 	// neighbors lists laterally coupled blocks.
-	neighbors [NumBlocks][]Block
+	neighbors [][]Block
+	// next is the scratch buffer of one Euler sub-step.
+	next []float64
 	// Steps counts integration sub-steps performed.
 	Steps uint64
 }
 
-// New builds a model; the configuration must validate.
-func New(cfg Config) (*Model, error) {
+// New builds a model for a CMP with the given core count; the configuration
+// must validate.
+func New(cfg Config, cores int) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{cfg: cfg}
-	for b := Block(0); b < NumBlocks; b++ {
+	plan := Floorplan{Cores: cores}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	n := plan.NumBlocks()
+	m := &Model{
+		Floorplan: plan,
+		cfg:       cfg,
+		temps:     make([]float64, n),
+		r:         make([]float64, n),
+		c:         make([]float64, n),
+		neighbors: make([][]Block, n),
+		next:      make([]float64, n),
+	}
+	for b := 0; b < n; b++ {
 		m.temps[b] = cfg.InitialC
 		switch {
-		case b >= Core0 && b <= Core3:
+		case b < cores:
 			m.r[b] = cfg.CoreRtoAmbient
 			m.c[b] = cfg.CoreCapacitance
-		case b >= L2Bank0 && b <= L2Bank3:
+		case b < 2*cores:
 			m.r[b] = cfg.L2RtoAmbient
 			m.c[b] = cfg.L2Capacitance
 		default:
@@ -145,14 +177,15 @@ func New(cfg Config) (*Model, error) {
 	}
 	// Each core is adjacent to its L2 bank and to the bus; L2 banks also
 	// neighbour the bus; cores neighbour the next core (ring-less row).
-	for i := 0; i < 4; i++ {
-		core := CoreBlock(i)
-		bank := L2Block(i)
-		m.neighbors[core] = append(m.neighbors[core], bank, BusBlock)
-		m.neighbors[bank] = append(m.neighbors[bank], core, BusBlock)
-		m.neighbors[BusBlock] = append(m.neighbors[BusBlock], core, bank)
+	bus := plan.Bus()
+	for i := 0; i < cores; i++ {
+		core := plan.CoreBlock(i)
+		bank := plan.L2Block(i)
+		m.neighbors[core] = append(m.neighbors[core], bank, bus)
+		m.neighbors[bank] = append(m.neighbors[bank], core, bus)
+		m.neighbors[bus] = append(m.neighbors[bus], core, bank)
 		if i > 0 {
-			prev := CoreBlock(i - 1)
+			prev := plan.CoreBlock(i - 1)
 			m.neighbors[core] = append(m.neighbors[core], prev)
 			m.neighbors[prev] = append(m.neighbors[prev], core)
 		}
@@ -161,8 +194,8 @@ func New(cfg Config) (*Model, error) {
 }
 
 // MustNew is New but panics on error.
-func MustNew(cfg Config) *Model {
-	m, err := New(cfg)
+func MustNew(cfg Config, cores int) *Model {
+	m, err := New(cfg, cores)
 	if err != nil {
 		panic(err)
 	}
@@ -172,8 +205,9 @@ func MustNew(cfg Config) *Model {
 // Temp returns the current temperature of a block in °C.
 func (m *Model) Temp(b Block) float64 { return m.temps[b] }
 
-// Temps returns a copy of all block temperatures.
-func (m *Model) Temps() [NumBlocks]float64 { return m.temps }
+// Temps returns a copy of all block temperatures, in block order (cores,
+// L2 banks, bus).
+func (m *Model) Temps() []float64 { return append([]float64(nil), m.temps...) }
 
 // MaxTemp returns the hottest block temperature.
 func (m *Model) MaxTemp() float64 {
@@ -187,11 +221,15 @@ func (m *Model) MaxTemp() float64 {
 }
 
 // Step integrates the model forward by dt seconds with the given per-block
-// power in Watts.  Long intervals are subdivided into MaxStepSeconds chunks
-// for numerical stability.
-func (m *Model) Step(powerW [NumBlocks]float64, dt float64) {
+// power in Watts (indexed by Block; len(powerW) must be NumBlocks()).  Long
+// intervals are subdivided into MaxStepSeconds chunks for numerical
+// stability.
+func (m *Model) Step(powerW []float64, dt float64) {
 	if dt <= 0 {
 		return
+	}
+	if len(powerW) != len(m.temps) {
+		panic(fmt.Sprintf("thermal: power map has %d blocks, floorplan has %d", len(powerW), len(m.temps)))
 	}
 	remaining := dt
 	for remaining > 0 {
@@ -202,10 +240,10 @@ func (m *Model) Step(powerW [NumBlocks]float64, dt float64) {
 }
 
 // euler performs one forward-Euler sub-step.
-func (m *Model) euler(powerW [NumBlocks]float64, h float64) {
+func (m *Model) euler(powerW []float64, h float64) {
 	m.Steps++
-	var next [NumBlocks]float64
-	for b := Block(0); b < NumBlocks; b++ {
+	next := m.next
+	for b := range m.temps {
 		// Heat in: block power.  Heat out: to ambient and to neighbours.
 		flowOut := (m.temps[b] - m.cfg.AmbientC) / m.r[b]
 		for _, n := range m.neighbors[b] {
@@ -221,18 +259,22 @@ func (m *Model) euler(powerW [NumBlocks]float64, h float64) {
 			next[b] = 400
 		}
 	}
-	m.temps = next
+	copy(m.temps, next)
 }
 
 // SteadyState returns the temperatures the model converges to under a
 // constant power map, by integrating until the largest change per second
 // falls below tolC.  It does not modify the model state.
-func (m *Model) SteadyState(powerW [NumBlocks]float64, tolC float64) [NumBlocks]float64 {
-	saved := m.temps
+func (m *Model) SteadyState(powerW []float64, tolC float64) []float64 {
+	saved := append([]float64(nil), m.temps...)
 	savedSteps := m.Steps
-	defer func() { m.temps, m.Steps = saved, savedSteps }()
+	defer func() {
+		copy(m.temps, saved)
+		m.Steps = savedSteps
+	}()
+	before := make([]float64, len(m.temps))
 	for i := 0; i < 100000; i++ {
-		before := m.temps
+		copy(before, m.temps)
 		m.Step(powerW, 0.01)
 		maxDelta := 0.0
 		for b := range before {
@@ -245,5 +287,5 @@ func (m *Model) SteadyState(powerW [NumBlocks]float64, tolC float64) [NumBlocks]
 			break
 		}
 	}
-	return m.temps
+	return append([]float64(nil), m.temps...)
 }
