@@ -12,12 +12,12 @@ FUZZTIME ?= 5s
 # Minimum total statement coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 70
 
-.PHONY: ci fmt vet build test test-allocs cover fuzz-smoke bench-smoke bench bench-baseline bench-compare
+.PHONY: ci fmt vet build test test-allocs race cover fuzz-smoke bench-smoke bench bench-baseline bench-compare
 
 # cover runs the full test suite (instrumented) and fails on any test
 # failure, so ci does not also run the plain `test` target — that would
 # execute every test twice for no extra guarantee.
-ci: fmt vet build cover test-allocs fuzz-smoke bench-smoke
+ci: fmt vet build cover test-allocs race fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -34,14 +34,21 @@ build:
 test:
 	$(GO) test ./...
 
-# test-allocs re-runs the 0-allocs/op guards on the steady-state load-hit,
-# load-miss, decay-tick, victim-selection, stream-refill, trace-replay and
-# stats-observe paths explicitly, so an allocation regression fails CI with
-# a focused message even when the main test run is filtered.
+# test-allocs re-runs the 0-allocs/op guards on the scheduler drain loop,
+# the steady-state load-hit, load-miss, decay-tick, victim-selection,
+# stream-refill, trace-replay and stats-observe paths explicitly, so an
+# allocation regression fails CI with a focused message even when the main
+# test run is filtered.
 test-allocs:
 	$(GO) test -count 1 -run 'AllocationFree' \
-		./internal/cache ./internal/core ./internal/decay \
+		./internal/sim ./internal/cache ./internal/core ./internal/decay \
 		./internal/workload ./internal/stats ./internal/trace
+
+# race runs the full suite under the race detector.  The timing model is
+# single-goroutine by design, but trace readers, shard merges and the
+# example/figure drivers do fan out; this keeps them honest.
+race:
+	$(GO) test -race ./...
 
 # cover measures atomic-mode statement coverage across the whole module and
 # fails when the total drops below COVER_FLOOR percent, so a PR cannot grow

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cmpleak"
@@ -33,11 +35,13 @@ import (
 
 func main() {
 	var (
-		traceFile = flag.String("trace", "", "recorded trace file to replay (required)")
-		technique = flag.String("technique", "decay:512K", "technique spec (baseline, protocol, decay:512K, sel_decay:64K, adaptive:128K)")
-		l2MB      = flag.Int("l2mb", 4, "total L2 capacity in MB")
-		runs      = flag.Int("runs", 3, "timed replay runs (best run is reported)")
-		noThermal = flag.Bool("no-thermal-feedback", false, "disable the leakage-temperature loop")
+		traceFile  = flag.String("trace", "", "recorded trace file to replay (required)")
+		technique  = flag.String("technique", "decay:512K", "technique spec (baseline, protocol, decay:512K, sel_decay:64K, adaptive:128K)")
+		l2MB       = flag.Int("l2mb", 4, "total L2 capacity in MB")
+		runs       = flag.Int("runs", 3, "timed replay runs (best run is reported)")
+		noThermal  = flag.Bool("no-thermal-feedback", false, "disable the leakage-temperature loop")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -71,6 +75,22 @@ func main() {
 	cfg = cfg.WithTotalL2MB(*l2MB)
 	cfg.ThermalFeedback = !*noThermal
 
+	// The profiles cover exactly the timed replay runs, so a ROADMAP claim
+	// like "dispatch is N% of a decay run" is one command to reproduce:
+	//
+	//	leakcalib -trace water.trc -cpuprofile cpu.pprof
+	//	go tool pprof -top cpu.pprof
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	type sample struct {
 		wall         time.Duration
 		cycles       uint64
@@ -101,16 +121,29 @@ func main() {
 		secs := wall.Seconds()
 		smp.cyclesPerSec = float64(smp.cycles) / secs
 		smp.eventsPerSec = float64(smp.executed) / secs
-		fmt.Printf("run %d: sim_cycles=%d wall=%s sim_cycles/sec=%.3g events=%d events/sec=%.3g far_events=%d (ratio %.2g)\n",
+		fmt.Printf("run %d: sim_cycles=%d wall=%s sim_cycles/sec=%.3g events=%d (near=%d far=%d) events/sec=%.3g far_ratio=%.2g\n",
 			i+1, smp.cycles, wall.Round(time.Millisecond), smp.cyclesPerSec,
-			smp.executed, smp.eventsPerSec, smp.far, ratio(smp.far, smp.executed))
+			smp.executed, smp.executed-smp.far, smp.far, smp.eventsPerSec, ratio(smp.far, smp.executed))
 		if smp.cyclesPerSec > best.cyclesPerSec {
 			best = smp
 		}
 	}
-	fmt.Printf("best: sim_cycles/sec=%.4g  events/sec=%.4g  entries/sec=%.4g  far-event ratio=%.2g  (%s %s, %d MB L2, %d cores)\n",
+	fmt.Printf("best: sim_cycles/sec=%.4g  events/sec=%.4g  entries/sec=%.4g  near/far=%d/%d (far ratio %.2g)  (%s %s, %d MB L2, %d cores)\n",
 		best.cyclesPerSec, best.eventsPerSec, float64(entries)/best.wall.Seconds(),
-		ratio(best.far, best.executed), hdr.Benchmark, spec.Name(), *l2MB, hdr.Cores)
+		best.executed-best.far, best.far, ratio(best.far, best.executed),
+		hdr.Benchmark, spec.Name(), *l2MB, hdr.Cores)
+
+	if *memProfile != "" {
+		pf, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		pf.Close()
+	}
 }
 
 func ratio(far, executed uint64) float64 {

@@ -45,10 +45,12 @@ func (e *MSHREntry) Waiters() int { return e.nwait }
 
 // MSHR is a set of miss-status holding registers with request merging.
 // Entry and waiter records are pooled, so a steady-state miss allocates
-// nothing.
+// nothing; the block lookup is an open-addressing mshrTable rather than a
+// Go map, since the handful of in-flight misses make a one-cache-line
+// linear probe strictly cheaper than map machinery.
 type MSHR struct {
 	capacity int
-	entries  map[mem.Addr]*MSHREntry
+	entries  mshrTable
 
 	freeEntries *MSHREntry
 	freeWaiters *Waiter
@@ -65,17 +67,17 @@ type MSHR struct {
 // NewMSHR builds an MSHR with the given number of entries; capacity <= 0
 // means unlimited.
 func NewMSHR(capacity int) *MSHR {
-	m := &MSHR{capacity: capacity, entries: make(map[mem.Addr]*MSHREntry)}
+	m := &MSHR{capacity: capacity, entries: newMSHRTable()}
 	m.deliverFn = m.deliver
 	return m
 }
 
 // Lookup returns the entry for block, if any.
-func (m *MSHR) Lookup(block mem.Addr) *MSHREntry { return m.entries[block] }
+func (m *MSHR) Lookup(block mem.Addr) *MSHREntry { return m.entries.get(block) }
 
 // Full reports whether a new allocation would exceed capacity.
 func (m *MSHR) Full() bool {
-	return m.capacity > 0 && len(m.entries) >= m.capacity
+	return m.capacity > 0 && m.entries.len() >= m.capacity
 }
 
 // Allocate returns the entry for block, creating it when absent.  The second
@@ -83,7 +85,7 @@ func (m *MSHR) Full() bool {
 // request downstream).  When the MSHR is full and the block has no existing
 // entry, Allocate returns (nil, false) and records a stall.
 func (m *MSHR) Allocate(block mem.Addr, isWrite bool) (*MSHREntry, bool) {
-	if e, ok := m.entries[block]; ok {
+	if e := m.entries.get(block); e != nil {
 		m.Merges.Inc()
 		if isWrite {
 			e.IsWrite = true
@@ -102,10 +104,10 @@ func (m *MSHR) Allocate(block mem.Addr, isWrite bool) (*MSHREntry, bool) {
 	}
 	e.Block, e.IsWrite = block, isWrite
 	e.whead, e.wtail, e.nwait, e.next = nil, nil, 0, nil
-	m.entries[block] = e
+	m.entries.put(block, e)
 	m.Allocations.Inc()
-	if len(m.entries) > m.peak {
-		m.peak = len(m.entries)
+	if n := m.entries.len(); n > m.peak {
+		m.peak = n
 	}
 	return e, true
 }
@@ -152,11 +154,10 @@ func (m *MSHR) deliver(a any) {
 // waiter to fire latency cycles from now, in merge order (FIFO).  It
 // returns how many waiters were scheduled; 0 when no entry exists.
 func (m *MSHR) CompleteDeliver(block mem.Addr, eng *sim.Engine, latency sim.Cycle) int {
-	e, ok := m.entries[block]
-	if !ok {
+	e := m.entries.take(block)
+	if e == nil {
 		return 0
 	}
-	delete(m.entries, block)
 	n := e.nwait
 	for w := e.whead; w != nil; {
 		next := w.next
@@ -184,7 +185,7 @@ func (m *MSHR) ScheduleDone(eng *sim.Engine, latency sim.Cycle, fn DoneFunc, arg
 }
 
 // Outstanding returns the number of in-flight misses.
-func (m *MSHR) Outstanding() int { return len(m.entries) }
+func (m *MSHR) Outstanding() int { return m.entries.len() }
 
 // Peak returns the highest simultaneous occupancy observed.
 func (m *MSHR) Peak() int { return m.peak }

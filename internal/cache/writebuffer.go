@@ -11,10 +11,18 @@ import (
 // The buffer also answers the "pending write" check of Table I: a line with
 // a pending write in the buffer may not be considered clean by the turn-off
 // logic.
+//
+// The FIFO is a power-of-two ring (the previous slice-off-the-front queue
+// walked its backing array forward and reallocated every few pushes) and
+// membership is an open-addressing AddrSet (the previous map paid hash
+// setup and growth churn on every store of the run).
 type WriteBuffer struct {
 	capacity int
-	queue    []mem.Addr
-	pending  map[mem.Addr]int // block -> number of coalesced stores
+	ring     []mem.Addr // power-of-two ring; live entries are [head, tail)
+	rmask    uint64
+	head     uint64
+	tail     uint64
+	pending  AddrSet // blocks currently buffered
 
 	// Statistics.
 	Enqueued  stats.Counter
@@ -24,22 +32,33 @@ type WriteBuffer struct {
 	peak      int
 }
 
+// writeBufferMinRing sizes the smallest ring; a power of two.
+const writeBufferMinRing = 16
+
 // NewWriteBuffer builds a buffer holding up to capacity distinct blocks;
 // capacity <= 0 means unlimited.
 func NewWriteBuffer(capacity int) *WriteBuffer {
-	return &WriteBuffer{capacity: capacity, pending: make(map[mem.Addr]int)}
+	ring := writeBufferMinRing
+	for ring < capacity {
+		ring *= 2
+	}
+	return &WriteBuffer{
+		capacity: capacity,
+		ring:     make([]mem.Addr, ring),
+		rmask:    uint64(ring) - 1,
+		pending:  NewAddrSet(),
+	}
 }
 
 // Full reports whether a new block cannot currently be accepted.
 func (b *WriteBuffer) Full() bool {
-	return b.capacity > 0 && len(b.queue) >= b.capacity
+	return b.capacity > 0 && b.Len() >= b.capacity
 }
 
 // Push records a store to block.  It returns false (and counts a stall) when
 // the buffer is full and the block is not already present.
 func (b *WriteBuffer) Push(block mem.Addr) bool {
-	if n, ok := b.pending[block]; ok {
-		b.pending[block] = n + 1
+	if b.pending.Has(block) {
 		b.Coalesced.Inc()
 		return true
 	}
@@ -47,11 +66,15 @@ func (b *WriteBuffer) Push(block mem.Addr) bool {
 		b.FullStall.Inc()
 		return false
 	}
-	b.queue = append(b.queue, block)
-	b.pending[block] = 1
+	if b.tail-b.head == uint64(len(b.ring)) {
+		b.growRing()
+	}
+	b.ring[b.tail&b.rmask] = block
+	b.tail++
+	b.pending.Add(block)
 	b.Enqueued.Inc()
-	if len(b.queue) > b.peak {
-		b.peak = len(b.queue)
+	if n := b.Len(); n > b.peak {
+		b.peak = n
 	}
 	return true
 }
@@ -59,12 +82,12 @@ func (b *WriteBuffer) Push(block mem.Addr) bool {
 // Pop removes and returns the oldest buffered block; ok is false when the
 // buffer is empty.
 func (b *WriteBuffer) Pop() (block mem.Addr, ok bool) {
-	if len(b.queue) == 0 {
+	if b.head == b.tail {
 		return 0, false
 	}
-	block = b.queue[0]
-	b.queue = b.queue[1:]
-	delete(b.pending, block)
+	block = b.ring[b.head&b.rmask]
+	b.head++
+	b.pending.Take(block)
 	b.Drained.Inc()
 	return block, true
 }
@@ -72,12 +95,24 @@ func (b *WriteBuffer) Pop() (block mem.Addr, ok bool) {
 // HasPending reports whether a store to block is still buffered — the
 // Table I "pending write" condition.
 func (b *WriteBuffer) HasPending(block mem.Addr) bool {
-	_, ok := b.pending[block]
-	return ok
+	return b.pending.Has(block)
 }
 
 // Len returns the number of distinct blocks buffered.
-func (b *WriteBuffer) Len() int { return len(b.queue) }
+func (b *WriteBuffer) Len() int { return int(b.tail - b.head) }
 
 // Peak returns the highest occupancy observed.
 func (b *WriteBuffer) Peak() int { return b.peak }
+
+// growRing doubles the ring (unlimited-capacity buffers only), re-laying
+// the live entries out from index 0.
+func (b *WriteBuffer) growRing() {
+	old := b.ring
+	n := b.tail - b.head
+	b.ring = make([]mem.Addr, len(old)*2)
+	for i := uint64(0); i < n; i++ {
+		b.ring[i] = old[(b.head+i)&b.rmask]
+	}
+	b.rmask = uint64(len(b.ring)) - 1
+	b.head, b.tail = 0, n
+}

@@ -45,8 +45,9 @@ type Controller struct {
 
 	// decayedBlocks remembers blocks removed by a decay turn-off so that a
 	// subsequent miss to them can be attributed to the technique; it is a
-	// compact open-addressing probe table because it sits on the miss path.
-	decayedBlocks blockSet
+	// compact open-addressing probe table (cache.AddrSet, shared with the
+	// write buffer's coalesce check) because it sits on the miss path.
+	decayedBlocks cache.AddrSet
 
 	// freeRetry pools MSHR-full retry records so back-offs schedule a
 	// pre-bound pooled event instead of a fresh closure per retry; freeUpgr
@@ -99,7 +100,7 @@ func NewController(eng *sim.Engine, bus *coherence.Bus, cfg ControllerConfig) (*
 		arr:           arr,
 		mshr:          cache.NewMSHR(cfg.MSHREntries),
 		bus:           bus,
-		decayedBlocks: newBlockSet(),
+		decayedBlocks: cache.NewAddrSet(),
 	}
 	c.retryFn = c.retryMiss
 	c.fillFn = func(_ any, txn coherence.Transaction, res coherence.BusResult) {

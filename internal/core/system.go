@@ -105,7 +105,15 @@ func NewSystem(cfg config.System) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		core.OnDone(func(int) { s.coresDone++ })
+		core.OnDone(func(int) {
+			s.coresDone++
+			if s.coresDone >= len(s.cores) {
+				// Halt the engine's drain loop at exactly this event: events
+				// still queued for the same cycle stay queued, matching the
+				// old per-event Step loop's stop point bit for bit.
+				s.eng.Halt()
+			}
+		})
 
 		s.l1s[i] = l1
 		s.l2s[i] = ctrl
@@ -160,12 +168,22 @@ func (s *System) Run() (Result, error) {
 		return !s.allDone()
 	})
 
+	// The engine's bucket-drain loop runs the whole simulation in one call:
+	// the last core's OnDone callback halts it mid-bucket at exactly the
+	// event that finished the run (so the stop point — and therefore every
+	// result bit — matches the former per-event Step loop), and the cycle
+	// limit turns a runaway simulation into RunLimited instead of a
+	// per-event clock check.
+	limit := sim.CycleMax
+	if s.cfg.MaxCycles != 0 {
+		limit = s.cfg.MaxCycles
+	}
 	for !s.allDone() {
-		if !s.eng.Step() {
+		switch s.eng.RunLimit(limit) {
+		case sim.RunDrained:
 			return Result{}, fmt.Errorf("core: event queue drained before all cores finished (%d/%d done)",
 				s.coresDone, len(s.cores))
-		}
-		if s.cfg.MaxCycles != 0 && s.eng.Now() > s.cfg.MaxCycles {
+		case sim.RunLimited:
 			return Result{}, fmt.Errorf("core: simulation exceeded MaxCycles=%d", s.cfg.MaxCycles)
 		}
 	}

@@ -10,6 +10,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cmpleak/internal/mem"
 	"cmpleak/internal/sim"
@@ -91,6 +92,13 @@ type Core struct {
 	storeDoneFn    func()
 	pending        workload.Entry
 
+	// issueShift is log2(IssueWidth) when the width is a power of two
+	// (issuePow2), letting computeDelay shift instead of paying a runtime
+	// integer division per trace entry — the compiler cannot strength-reduce
+	// a division by a config field.
+	issueShift uint
+	issuePow2  bool
+
 	startCycle  sim.Cycle
 	finishCycle sim.Cycle
 
@@ -114,6 +122,10 @@ func New(id int, eng *sim.Engine, cfg Config, l1 MemoryPort, stream workload.Str
 		id: id, eng: eng, cfg: cfg, l1: l1,
 		stream: workload.AsBatchStream(stream),
 		buf:    make([]workload.Entry, batchEntries),
+	}
+	if w := uint(cfg.IssueWidth); w&(w-1) == 0 {
+		c.issuePow2 = true
+		c.issueShift = uint(bits.TrailingZeros(w))
 	}
 	c.advanceFn = c.advance
 	c.issuePendingFn = c.issuePending
@@ -172,8 +184,10 @@ func (c *Core) computeDelay(instrs int) sim.Cycle {
 	if instrs <= 0 {
 		return 0
 	}
-	d := sim.Cycle((instrs + c.cfg.IssueWidth - 1) / c.cfg.IssueWidth)
-	return d
+	if c.issuePow2 {
+		return sim.Cycle(uint(instrs+c.cfg.IssueWidth-1) >> c.issueShift)
+	}
+	return sim.Cycle((instrs + c.cfg.IssueWidth - 1) / c.cfg.IssueWidth)
 }
 
 // advance is the core's single execution chain: it consumes trace entries

@@ -27,7 +27,11 @@ var stripeLines = 4096
 //     (sim.Engine.ScheduleNextArg), so the full scan still executes
 //     atomically with respect to every other simulation event — bit-for-bit
 //     identical to the old monolithic walk — while a global tick over an
-//     8 MB bank never does O(all lines) work in one event.
+//     8 MB bank never does O(all lines) work in one event.  The engine's
+//     bucket-drain loop honours the prepend mid-drain (it re-reads the
+//     bucket head after every dispatch), so the atomicity guarantee holds
+//     under Run/RunLimit exactly as it did under per-event stepping;
+//     sim/drain_test.go property-tests that ordering.
 //
 // Striping is sound because a stripe's side effects cannot change what a
 // later stripe observes: counter advances touch only the line itself, and

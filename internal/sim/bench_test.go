@@ -254,3 +254,124 @@ func BenchmarkFarRecurringTick(b *testing.B) {
 		b.Fatalf("fired %d times, want %d", fired, b.N)
 	}
 }
+
+// --- drain-loop benchmarks: the Run/RunLimit bucket-drain hot path --------
+//
+// These measure the run loop itself rather than Step: self-feeding chains of
+// pre-bound argument events reschedule themselves until b.N dispatches have
+// happened, then halt the loop, so the engine pays exactly the per-cycle
+// scan/advance plus per-event drain cost under three bucket shapes.
+
+// drainChain carries one self-feeding chain's state through the any argument
+// without boxing per event.
+type drainChain struct {
+	e     *Engine
+	delay Cycle
+	fired *int
+	limit int
+}
+
+// benchDrain runs `chains` parallel self-feeding chains at the given delay
+// until b.N total events have dispatched.
+func benchDrain(b *testing.B, chains int, delay Cycle) {
+	e := NewEngine()
+	var fired int
+	var fn ArgFunc
+	fn = func(a any) {
+		c := a.(*drainChain)
+		*c.fired++
+		if *c.fired >= c.limit {
+			c.e.Halt()
+			return
+		}
+		c.e.ScheduleArg(c.delay, fn, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < chains; i++ {
+		e.ScheduleArg(delay+Cycle(i&3), fn, &drainChain{e: e, delay: delay, fired: &fired, limit: b.N})
+	}
+	for e.RunLimit(CycleMax) == RunHalted && fired < b.N {
+	}
+	if fired < b.N {
+		b.Fatalf("ran %d events, want at least %d", fired, b.N)
+	}
+}
+
+// BenchmarkDrainDenseBucket keeps 64 chains landing on a handful of adjacent
+// cycles, so each drained bucket holds a long same-cycle chain and the
+// per-cycle scan cost amortises across many dispatches — the snoop-storm /
+// MSHR-wakeup shape.
+func BenchmarkDrainDenseBucket(b *testing.B) { benchDrain(b, 64, 1) }
+
+// BenchmarkDrainSparseBucket runs a single chain with a delay most of the
+// way around the wheel, so nearly every iteration is one bitmap scan plus
+// one clock jump over ~800 empty cycles — the empty-range fast-forward path.
+func BenchmarkDrainSparseBucket(b *testing.B) { benchDrain(b, 1, 800) }
+
+// BenchmarkDrainFarHeavy pushes every reschedule beyond the wheel horizon,
+// so each event pays the overflow-heap insert, the cached-horizon check and
+// the batched migration back into the wheel.
+func BenchmarkDrainFarHeavy(b *testing.B) { benchDrain(b, 4, 4*wheelSize) }
+
+// --- 0 allocs/op guards (`make test-allocs`) ------------------------------
+
+// TestDrainLoopAllocationFree guards the bucket-drain run loop: a mixed
+// near/zero/far schedule of pre-bound argument events, plain functions and a
+// recurring tick must drain with zero allocations once the node pool and the
+// far heap are warm.
+func TestDrainLoopAllocationFree(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	afn := ArgFunc(func(any) { fired++ })
+	fn := func() { fired++ }
+	rec := e.ScheduleRecurring(wheelSize*2, func(Cycle) bool {
+		fired++
+		return true
+	})
+	defer rec.Stop()
+	arg := any(1) // boxed once, as call sites pass pooled pointers
+	round := func() {
+		for i := Cycle(0); i < 8; i++ {
+			e.ScheduleArg(i&3, afn, arg)
+			e.Schedule(i&3, fn)
+		}
+		e.ScheduleArg(3*wheelSize, afn, arg) // far insert + later migration
+		e.RunUntil(e.Now() + 4*wheelSize)
+	}
+	round() // warm the pool, the far heap's backing array and the recurring node
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Fatalf("drain loop allocates %.1f times per round, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("no events fired")
+	}
+}
+
+// TestMonomorphicDispatchAllocationFree guards the kindArg fast path in
+// isolation: a self-feeding chain of pre-bound argument events — the
+// dominant event kind on the simulation hot path — must run allocation-free
+// through Run, including the Halt that ends each burst.
+func TestMonomorphicDispatchAllocationFree(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	var fn ArgFunc
+	fn = func(a any) {
+		fired++
+		if fired%64 == 0 {
+			e.Halt()
+			return
+		}
+		e.ScheduleArg(2, fn, a)
+	}
+	c := &drainChain{}
+	e.ScheduleArg(2, fn, c)
+	e.Run() // warm: first 64 dispatches grow the pool
+	round := func() {
+		e.ScheduleArg(2, fn, c)
+		e.Run()
+	}
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Fatalf("monomorphic dispatch allocates %.1f times per burst, want 0", allocs)
+	}
+}

@@ -20,6 +20,22 @@
 //   - Recurring events refire in place, re-inserting the same pooled node
 //     instead of allocating and rescheduling a fresh one each period.
 //
+// The run loop is bucket-drain rather than per-event: each iteration
+// locates the next non-empty cycle once (one occupancy-bitmap scan plus
+// one far-heap horizon compare), jumps the clock over the empty range in
+// a single advance, then drains the whole bucket chain inline.  Same-cycle
+// appends (Schedule with delay 0) land at the bucket tail and same-cycle
+// prepends (ScheduleNextArg) land at the head while the drain is walking
+// the chain, so exact FIFO/continuation semantics are preserved — the
+// drain order is event-for-event identical to a per-event Step loop
+// (property-tested in drain_test.go).  Dispatch is monomorphic on a kind
+// tag: pre-bound argument events — the dominant kind on the simulation hot
+// path — branch directly to their callback without walking a nil-check
+// chain; plain functions and recurring events take the out-of-line slow
+// path.  The far heap's next deadline is cached in a single cycle value,
+// so advancing the clock costs one compare and migration work is batched
+// into the rare advances that actually cross the horizon.
+//
 // The engine maintains a global cycle counter; components schedule
 // callbacks at absolute or relative cycles, and events scheduled for the
 // same cycle execute in FIFO order, which makes every simulation run
@@ -36,6 +52,10 @@ import (
 // clock cycle.
 type Cycle uint64
 
+// CycleMax is the largest representable cycle; it doubles as the "no
+// limit" value for RunLimit.
+const CycleMax = ^Cycle(0)
+
 // EventFunc is a callback executed by the engine when its scheduled cycle
 // is reached.
 type EventFunc func()
@@ -47,9 +67,17 @@ type EventFunc func()
 // the any without allocating).
 type ArgFunc func(arg any)
 
+// Event kinds, the monomorphic dispatch tag.  kindArg is zero so the
+// dominant kind is also the cheapest to test.
+const (
+	kindArg uint8 = iota // pre-bound ArgFunc + argument: the hot-path kind
+	kindFn               // plain EventFunc
+	kindRec              // first-class Recurring
+)
+
 // event is one scheduled callback.  Nodes are pooled on an intrusive free
 // list owned by the engine and linked through next while queued in a wheel
-// bucket.  Exactly one of fn, afn or rec is set.
+// bucket.  kind selects which of fn, afn or rec is live.
 type event struct {
 	when Cycle
 	seq  uint64 // far-heap tie-break: FIFO among far events at the same cycle
@@ -58,6 +86,7 @@ type event struct {
 	afn  ArgFunc
 	arg  any
 	rec  *Recurring
+	kind uint8
 }
 
 const (
@@ -104,6 +133,18 @@ func (h *farHeap) Pop() any {
 	return e
 }
 
+// RunStatus reports why a RunLimit drain returned.
+type RunStatus uint8
+
+const (
+	// RunDrained means the event queue emptied.
+	RunDrained RunStatus = iota
+	// RunHalted means Halt was called from inside a callback.
+	RunHalted
+	// RunLimited means the next pending event lies beyond the limit.
+	RunLimited
+)
+
 // Engine is the simulation kernel.  It is not safe for concurrent use; the
 // whole timing model runs on a single goroutine, which is both faster for
 // this workload and required for determinism.
@@ -113,13 +154,23 @@ type Engine struct {
 	// heap order follows schedule order within a cycle.
 	seq uint64
 
-	buckets    []bucket // len wheelSize; bucket i holds the horizon cycle ≡ i (mod wheelSize)
-	occ        []uint64 // occupancy bitmap over buckets
+	// buckets and occ are fixed-size arrays (not slices) so indexing with a
+	// wheelMask-ed value needs no bounds check in the drain loop.
+	buckets    [wheelSize]bucket // bucket i holds the horizon cycle ≡ i (mod wheelSize)
+	occ        [wheelWords]uint64
 	wheelCount int
 
 	far farHeap
+	// farNext caches far[0].when (CycleMax when the heap is empty), so the
+	// per-cycle horizon check in the drain loop is one compare; heap
+	// migration is batched into the rare advances that cross it.
+	farNext Cycle
 
 	free *event
+
+	// halted is set by Halt and consumed by the run loop after the current
+	// event's callback returns.
+	halted bool
 
 	// Executed counts how many events have been dispatched; useful for
 	// progress reporting and for guarding against runaway simulations.
@@ -139,10 +190,7 @@ type Engine struct {
 
 // NewEngine returns an engine at cycle 0 with an empty event queue.
 func NewEngine() *Engine {
-	return &Engine{
-		buckets: make([]bucket, wheelSize),
-		occ:     make([]uint64, wheelWords),
-	}
+	return &Engine{farNext: CycleMax}
 }
 
 // Now returns the current simulation cycle.
@@ -220,16 +268,34 @@ func (e *Engine) insert(ev *event) {
 	e.seq++
 	ev.seq = e.seq
 	heap.Push(&e.far, ev)
+	if ev.when < e.farNext {
+		e.farNext = ev.when
+	}
+}
+
+// migrateFar moves every far event that entered the near horizon into the
+// wheel and refreshes the cached deadline.  Popping the heap in (when, seq)
+// order lands one cycle's events in their bucket in schedule order, ahead
+// of any events scheduled directly once the cycle is within the horizon.
+func (e *Engine) migrateFar() {
+	for len(e.far) > 0 && e.far[0].when-e.now < wheelSize {
+		e.wheelInsert(heap.Pop(&e.far).(*event))
+	}
+	if len(e.far) > 0 {
+		e.farNext = e.far[0].when
+	} else {
+		e.farNext = CycleMax
+	}
 }
 
 // advanceTo moves the clock to t and migrates far events that entered the
-// near horizon.  Migration pops the heap in (when, seq) order, so events of
-// one cycle land in their bucket in schedule order, ahead of any events
-// scheduled directly once the cycle is within the horizon.
+// near horizon.  The cached farNext makes the common no-migration case one
+// compare.  t never exceeds farNext (far events are always at or beyond the
+// next pending cycle), so the unsigned subtraction cannot wrap.
 func (e *Engine) advanceTo(t Cycle) {
 	e.now = t
-	for len(e.far) > 0 && e.far[0].when-t < wheelSize {
-		e.wheelInsert(heap.Pop(&e.far).(*event))
+	if e.farNext-t < wheelSize {
+		e.migrateFar()
 	}
 }
 
@@ -239,7 +305,7 @@ func (e *Engine) scanFrom(start int) int {
 	w := start >> 6
 	mask := ^uint64(0) << (uint(start) & 63)
 	for i := 0; i <= wheelWords; i++ {
-		if word := e.occ[w] & mask; word != 0 {
+		if word := e.occ[w&(wheelWords-1)] & mask; word != 0 {
 			return w<<6 + bits.TrailingZeros64(word)
 		}
 		mask = ^uint64(0)
@@ -266,21 +332,6 @@ func (e *Engine) nextTime() (Cycle, bool) {
 	return 0, false
 }
 
-// popCurrent removes and returns the first event due at the current cycle.
-// The caller guarantees the bucket is non-empty.
-func (e *Engine) popCurrent() *event {
-	idx := int(e.now) & wheelMask
-	b := &e.buckets[idx]
-	ev := b.head
-	b.head = ev.next
-	if b.head == nil {
-		b.tail = nil
-		e.occ[idx>>6] &^= 1 << (uint(idx) & 63)
-	}
-	e.wheelCount--
-	return ev
-}
-
 // Schedule registers fn to run delay cycles from now.  A delay of zero runs
 // fn later in the current cycle, after all previously scheduled events for
 // this cycle.
@@ -298,6 +349,7 @@ func (e *Engine) ScheduleAt(when Cycle, fn EventFunc) {
 	ev := e.alloc()
 	ev.when = when
 	ev.fn = fn
+	ev.kind = kindFn
 	e.insert(ev)
 }
 
@@ -318,6 +370,7 @@ func (e *Engine) ScheduleArgAt(when Cycle, fn ArgFunc, arg any) {
 	ev.when = when
 	ev.afn = fn
 	ev.arg = arg
+	ev.kind = kindArg
 	e.insert(ev)
 }
 
@@ -326,7 +379,9 @@ func (e *Engine) ScheduleArgAt(when Cycle, fn ArgFunc, arg any) {
 // with ScheduleNextArg is therefore guaranteed the continuation runs
 // immediately after it, with no foreign same-cycle event interleaving —
 // the primitive that lets a long scan be split across several events while
-// remaining observably atomic (the striped decay ticks rely on this).
+// remaining observably atomic (the striped decay ticks rely on this).  The
+// drain loop picks the prepended node up on its very next pop, because it
+// re-reads the bucket head after every dispatch.
 func (e *Engine) ScheduleNextArg(fn ArgFunc, arg any) {
 	if fn == nil {
 		panic("sim: ScheduleNextArg called with nil ArgFunc")
@@ -335,6 +390,7 @@ func (e *Engine) ScheduleNextArg(fn ArgFunc, arg any) {
 	ev.when = e.now
 	ev.afn = fn
 	ev.arg = arg
+	ev.kind = kindArg
 	e.wheelPrepend(ev)
 }
 
@@ -344,11 +400,22 @@ func (e *Engine) checkFuture(when Cycle) {
 	}
 }
 
-// dispatch runs one dequeued event and recycles its node.  One-shot nodes
-// return to the pool before the callback runs, so callbacks that schedule
-// reuse them immediately; recurring nodes re-insert themselves.
-func (e *Engine) dispatch(ev *event) {
-	if r := ev.rec; r != nil {
+// Halt asks the running drain loop to stop after the currently dispatching
+// callback returns, leaving every remaining event queued.  Calling it
+// outside a run loop makes the next Run/RunUntil/RunLimit return
+// immediately.  It is the mechanism by which a simulation-level stop
+// condition (all cores done) ends the run at exactly the event that
+// satisfied it, even mid-bucket.
+func (e *Engine) Halt() { e.halted = true }
+
+// dispatchSlow runs the non-kindArg event kinds: plain functions and
+// recurring events.  It is kept out of line so the drain loop's fast path
+// stays small.  One-shot nodes return to the pool before the callback runs,
+// so callbacks that schedule reuse them immediately; recurring nodes
+// re-insert themselves.
+func (e *Engine) dispatchSlow(ev *event) {
+	if ev.kind == kindRec {
+		r := ev.rec
 		if r.stopped {
 			r.ev = nil
 			e.release(ev)
@@ -365,28 +432,52 @@ func (e *Engine) dispatch(ev *event) {
 		e.insert(ev)
 		return
 	}
-	if ev.fn != nil {
-		fn := ev.fn
+	fn := ev.fn
+	e.release(ev)
+	fn()
+}
+
+// dispatch runs one dequeued event and recycles its node: the monomorphic
+// fast path for pre-bound argument events, dispatchSlow for the rest.
+func (e *Engine) dispatch(ev *event) {
+	if ev.kind == kindArg {
+		afn, arg := ev.afn, ev.arg
 		e.release(ev)
-		fn()
+		afn(arg)
 		return
 	}
-	afn, arg := ev.afn, ev.arg
-	e.release(ev)
-	afn(arg)
+	e.dispatchSlow(ev)
 }
 
 // Step executes the next event, advancing the clock to its cycle.  It
-// returns false when the queue is empty.
+// returns false when the queue is empty.  Locating, advancing and popping
+// share one bitmap scan (RunUntil used to pay two per event); bulk
+// execution should prefer Run/RunLimit, which in addition scan once per
+// cycle rather than once per event.
 func (e *Engine) Step() bool {
-	t, ok := e.nextTime()
-	if !ok {
+	var idx int
+	if e.wheelCount > 0 {
+		idx = e.scanFrom(int(e.now) & wheelMask)
+		if t := e.buckets[idx].head.when; t > e.now {
+			e.advanceTo(t)
+		}
+	} else if len(e.far) > 0 {
+		// The far pop lands at the front of its bucket: every other far
+		// event migrating with it is at the same or a later (cycle, seq).
+		t := e.far[0].when
+		e.advanceTo(t)
+		idx = int(t) & wheelMask
+	} else {
 		return false
 	}
-	if t > e.now {
-		e.advanceTo(t)
+	b := &e.buckets[idx]
+	ev := b.head
+	b.head = ev.next
+	if b.head == nil {
+		b.tail = nil
+		e.occ[idx>>6] &^= 1 << (uint(idx) & 63)
 	}
-	ev := e.popCurrent()
+	e.wheelCount--
 	e.Executed++
 	if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
 		panic("sim: MaxEvents exceeded")
@@ -395,23 +486,93 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains.
-func (e *Engine) Run() {
-	for e.Step() {
+// RunLimit executes events in cycle order until the queue drains, Halt is
+// called, or the next pending event lies beyond limit (pass CycleMax for
+// no limit), and reports which of the three ended the run.  The clock is
+// left at the last executed cycle; unlike RunUntil it does not advance to
+// the limit afterwards.
+//
+// This is the bucket-drain hot loop: per executed cycle it pays one
+// occupancy-bitmap scan, one far-horizon compare and one clock jump over
+// the preceding empty range, then drains the bucket chain inline —
+// re-reading the head after every dispatch, so same-cycle appends run in
+// FIFO order and ScheduleNextArg prepends run immediately next, exactly as
+// a per-event Step loop would execute them.
+func (e *Engine) RunLimit(limit Cycle) RunStatus {
+	if e.halted {
+		e.halted = false
+		return RunHalted
+	}
+	for {
+		// Locate the next non-empty cycle: wheel events always precede far
+		// events, so the bitmap scan wins whenever the wheel is occupied.
+		var t Cycle
+		if e.wheelCount > 0 {
+			t = e.buckets[e.scanFrom(int(e.now)&wheelMask)].head.when
+		} else if len(e.far) > 0 {
+			t = e.far[0].when
+		} else {
+			return RunDrained
+		}
+		if t > limit {
+			return RunLimited
+		}
+		if t > e.now {
+			// One jump over the whole empty cycle range, one horizon check.
+			e.advanceTo(t)
+		}
+		idx := int(t) & wheelMask
+		b := &e.buckets[idx]
+		for {
+			ev := b.head
+			if ev == nil {
+				break
+			}
+			b.head = ev.next
+			if b.head == nil {
+				b.tail = nil
+				e.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+			}
+			e.wheelCount--
+			e.Executed++
+			if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
+				panic("sim: MaxEvents exceeded")
+			}
+			switch ev.kind {
+			case kindArg:
+				// Monomorphic fast path: the pre-bound argument events that
+				// dominate the simulation (cache completions, bus phases,
+				// stripe continuations) dispatch with one tag compare.
+				afn, arg := ev.afn, ev.arg
+				e.release(ev)
+				afn(arg)
+			case kindFn:
+				// Plain functions (the per-core advance/issue chain) are the
+				// other high-volume kind; only recurring events go out of line.
+				fn := ev.fn
+				e.release(ev)
+				fn()
+			default:
+				e.dispatchSlow(ev)
+			}
+			if e.halted {
+				e.halted = false
+				return RunHalted
+			}
+		}
 	}
 }
 
+// Run executes events until the queue drains (or Halt is called).
+func (e *Engine) Run() {
+	e.RunLimit(CycleMax)
+}
+
 // RunUntil executes events whose cycle is <= limit.  The clock never
-// advances past limit; events beyond it remain queued.
+// advances past limit; events beyond it remain queued.  If the drain was
+// halted the clock stays at the halting cycle.
 func (e *Engine) RunUntil(limit Cycle) {
-	for {
-		t, ok := e.nextTime()
-		if !ok || t > limit {
-			break
-		}
-		e.Step()
-	}
-	if e.now < limit {
+	if e.RunLimit(limit) != RunHalted && e.now < limit {
 		e.advanceTo(limit)
 	}
 }

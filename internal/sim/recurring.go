@@ -33,6 +33,7 @@ func (e *Engine) ScheduleRecurring(period Cycle, fn PeriodicFunc) *Recurring {
 	ev := e.alloc()
 	ev.when = e.now + period
 	ev.rec = r
+	ev.kind = kindRec
 	r.ev = ev
 	e.insert(ev)
 	return r

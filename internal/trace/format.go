@@ -241,16 +241,39 @@ func appendEntries(dst []byte, entries []workload.Entry, prevAddr mem.Addr) ([]b
 	return dst, prevAddr, nil
 }
 
+// uvarint decodes one varint at pos, returning the value and the position
+// after it; a negative position reports truncation or overflow.  The one-
+// and two-byte encodings — short compute runs and small address deltas,
+// which dominate trace payloads — decode inline; longer encodings take the
+// stdlib loop.  Replaying a trace decodes two varints per memory entry, so
+// this sits directly on the leakcalib hot path.
+func uvarint(b []byte, pos int) (uint64, int) {
+	if pos < len(b) {
+		if v := b[pos]; v < 0x80 {
+			return uint64(v), pos + 1
+		} else if pos+1 < len(b) {
+			if v1 := b[pos+1]; v1 < 0x80 {
+				return uint64(v&0x7f) | uint64(v1)<<7, pos + 2
+			}
+		}
+	}
+	v, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return 0, -1
+	}
+	return v, pos + n
+}
+
 // decodeEntries decodes exactly len(out) records from b starting at pos,
 // continuing the address chain from prevAddr.  It returns the new position
 // and chain state; a short or malformed payload yields ErrCorrupt.
 func decodeEntries(b []byte, pos int, prevAddr mem.Addr, out []workload.Entry) (int, mem.Addr, error) {
 	for i := range out {
-		head, n := binary.Uvarint(b[pos:])
-		if n <= 0 {
+		head, hpos := uvarint(b, pos)
+		if hpos < 0 {
 			return pos, prevAddr, corruptf("truncated entry head at payload offset %d", pos)
 		}
-		pos += n
+		pos = hpos
 		op := workload.OpKind(head & 3)
 		if op > workload.Store {
 			return pos, prevAddr, corruptf("invalid op kind %d at payload offset %d", op, pos)
@@ -261,11 +284,11 @@ func decodeEntries(b []byte, pos int, prevAddr mem.Addr, out []workload.Entry) (
 		}
 		e := workload.Entry{ComputeInstrs: int(compute), Op: op}
 		if op != workload.None {
-			d, n := binary.Uvarint(b[pos:])
-			if n <= 0 {
+			d, dpos := uvarint(b, pos)
+			if dpos < 0 {
 				return pos, prevAddr, corruptf("truncated address delta at payload offset %d", pos)
 			}
-			pos += n
+			pos = dpos
 			prevAddr = mem.Addr(int64(prevAddr) + unzigzag(d))
 			e.Addr = prevAddr
 		}
