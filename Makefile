@@ -4,15 +4,15 @@
 
 GO ?= go
 BENCH_SCALE ?= 0.005
-# Packages with the scheduler + data-plane + front-end + trace-I/O
+# Packages with the scheduler + data-plane + front-end + trace-I/O + sweep
 # microbenchmarks used by bench-baseline / bench-compare.
-BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay ./internal/workload ./internal/stats ./internal/trace
+BENCH_PKGS ?= ./internal/sim ./internal/cache ./internal/core ./internal/decay ./internal/workload ./internal/stats ./internal/trace ./internal/experiment
 BENCH_COUNT ?= 5
 FUZZTIME ?= 5s
 # Minimum total statement coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 70
 
-.PHONY: ci fmt vet build test test-allocs race cover fuzz-smoke bench-smoke bench bench-baseline bench-compare
+.PHONY: ci fmt vet build test test-allocs race cover fuzz-smoke bench-smoke bench bench-sweep bench-baseline bench-compare
 
 # cover runs the full test suite (instrumented) and fails on any test
 # failure, so ci does not also run the plain `test` target — that would
@@ -79,6 +79,14 @@ bench-smoke:
 # bench runs the full figure-regeneration benchmarks at the default scale.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-sweep compares serial vs parallel sweep wall-clock on the
+# reduced-scale matrix (one worker vs GOMAXPROCS workers, same jobs): the
+# jobs/sec metric is the in-process pool's speedup on this box.  The same
+# benchmarks also run under bench-baseline / bench-compare via BENCH_PKGS.
+bench-sweep:
+	CMPLEAK_BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' \
+		-bench 'BenchmarkSweep(Serial|Parallel)$$' -count 3 ./internal/experiment
 
 # bench-baseline records the microbenchmark numbers of the current tree
 # (run it on the commit you want to compare against); bench-compare reruns

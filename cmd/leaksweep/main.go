@@ -5,21 +5,32 @@
 //
 // Examples:
 //
-//	leaksweep                      # full sweep at the default scale
+//	leaksweep                      # full sweep, one worker per CPU
 //	leaksweep -scale 0.25 -fig 5a  # quarter-length workloads, Figure 5a only
 //	leaksweep -benchmarks WATER-NS,FMM -sizes 2,4 -csv
+//	leaksweep -jobs 8              # exactly 8 concurrent simulation workers
 //	leaksweep -scenario scenarios/paper.json        # declarative matrix
 //	leaksweep -shard 0/4 -out shard0.json   # this process runs shard 0 of 4
 //	leaksweep -merge 'shard*.json'          # join the shards into one figure set
+//
+// Every invocation runs its jobs through an in-process worker pool (one
+// simulation engine per worker): -jobs N sets the worker count, defaulting
+// to the number of CPUs, and a live progress line on stderr tracks
+// completed jobs, rate and ETA.  Results are byte-identical at any -jobs
+// value — the pool collects into deterministic feed order — so figures,
+// -out shard files and merges never depend on the worker count.
 //
 // -scenario runs a declarative experiment matrix instead of the flag-driven
 // sweep: the JSON file names the benchmark, size, technique, core-count and
 // seed axes (plus per-axis overrides) and expands deterministically into one
 // or more sweeps ("cells").  scenarios/paper.json is the paper's own figure
-// matrix.  -shard and -out compose with it — each cell is sharded
-// identically, and a multi-cell scenario writes one -out file per cell with
-// the cell name spliced in before the extension — so scenario shards merge
-// byte-identically through -merge, exactly like flag-driven ones.
+// matrix.  A multi-cell scenario fans every cell's jobs through the one
+// shared pool — the workers never idle between cells — and the per-cell
+// reports print in cell order afterwards.  -shard and -out compose with it —
+// each cell is sharded identically, and a multi-cell scenario writes one
+// -out file per cell with the cell name spliced in before the extension —
+// so scenario shards merge byte-identically through -merge, exactly like
+// flag-driven ones.
 //
 // -shard i/n deterministically partitions the sweep's (benchmark, size)
 // groups by index — each group's baseline and technique runs stay together
@@ -38,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -54,12 +66,22 @@ func main() {
 		scenario   = flag.String("scenario", "", "run the declarative scenario file instead of the flag-driven sweep")
 		fig        = flag.String("fig", "", "print only one figure: 3a, 3b, 4a, 4b, 5a, 5b, 6a, 6b")
 		csv        = flag.Bool("csv", false, "emit CSV instead of markdown")
-		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers (one engine each)")
+		parallel   = flag.Int("parallel", 0, "deprecated alias of -jobs (0 = use -jobs)")
+		quiet      = flag.Bool("quiet", false, "suppress the live progress line")
 		shard      = flag.String("shard", "", "run shard i of n sweep jobs, as \"i/n\" (default: all jobs)")
 		out        = flag.String("out", "", "write the run's results as a shard JSON file (one per cell with -scenario)")
 		merge      = flag.String("merge", "", "merge shard JSON files matching this glob instead of running")
 	)
 	flag.Parse()
+
+	workers := *jobs
+	if flagWasSet("parallel") {
+		if flagWasSet("jobs") {
+			fatalf("-parallel is a deprecated alias of -jobs; set only one")
+		}
+		workers = *parallel
+	}
 
 	if *merge != "" {
 		if *shard != "" {
@@ -92,13 +114,12 @@ func main() {
 				fatalf("-scenario files declare the %s axis; drop -%s", name, name)
 			}
 		}
-		runScenario(*scenario, shardIndex, shardCount, *parallel, *out, *fig, *csv)
+		runScenario(*scenario, shardIndex, shardCount, workers, *quiet, *out, *fig, *csv)
 		return
 	}
 
 	opts := cmpleak.DefaultSweepOptions(*scale)
 	opts.Seed = *seed
-	opts.Parallelism = *parallel
 	opts.ShardIndex, opts.ShardCount = shardIndex, shardCount
 	if *benchmarks != "" {
 		opts.Benchmarks = splitList(*benchmarks)
@@ -115,13 +136,14 @@ func main() {
 		opts.CacheSizesMB = mbs
 	}
 
-	sweep := runSweep(opts, "")
+	sweep := runSweep(opts, "", workers, *quiet)
 	writeOut(*out, sweep)
 	emitReport(sweep, *fig, *csv)
 }
 
-// runScenario expands the scenario file and runs every cell.
-func runScenario(path string, shardIndex, shardCount, parallel int, out, fig string, csv bool) {
+// runScenario expands the scenario file and fans every cell out through one
+// shared worker pool, then reports the cells in order.
+func runScenario(path string, shardIndex, shardCount, workers int, quiet bool, out, fig string, csv bool) {
 	sc, err := cmpleak.LoadScenario(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -130,11 +152,30 @@ func runScenario(path string, shardIndex, shardCount, parallel int, out, fig str
 	if err != nil {
 		fatalf("%s: %v", path, err)
 	}
-	fmt.Fprintf(os.Stderr, "leaksweep: scenario %s expands to %d cell(s)\n", path, len(cells))
-	for _, cell := range cells {
-		opts := cell.Options
-		opts.ShardIndex, opts.ShardCount = shardIndex, shardCount
-		opts.Parallelism = parallel
+	totalJobs := 0
+	for i := range cells {
+		cells[i].Options.ShardIndex, cells[i].Options.ShardCount = shardIndex, shardCount
+		totalJobs += len(cells[i].Options.Jobs())
+	}
+	if shardCount > 1 {
+		fmt.Fprintf(os.Stderr, "leaksweep: scenario %s: %d cell(s), %d jobs (shard %d/%d), %d worker(s)\n",
+			path, len(cells), totalJobs, shardIndex, shardCount, effectiveWorkers(workers, totalJobs))
+	} else {
+		fmt.Fprintf(os.Stderr, "leaksweep: scenario %s: %d cell(s), %d jobs, %d worker(s)\n",
+			path, len(cells), totalJobs, effectiveWorkers(workers, totalJobs))
+	}
+
+	start := time.Now()
+	sweeps, err := cmpleak.RunScenarioCells(cells, cmpleak.SweepParallelism{
+		Workers:  workers,
+		Progress: progressLine("leaksweep", quiet),
+	})
+	if err != nil {
+		fatalf("scenario failed: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "leaksweep: done in %s\n", time.Since(start).Round(time.Second))
+
+	for i, cell := range cells {
 		if len(cells) > 1 {
 			// Cell banners separate the per-cell reports for humans; under
 			// -csv they go to stderr so stdout stays machine-parseable.
@@ -144,9 +185,63 @@ func runScenario(path string, shardIndex, shardCount, parallel int, out, fig str
 				fmt.Printf("== %s ==\n\n", cell.Name)
 			}
 		}
-		sweep := runSweep(opts, cell.Name)
-		writeOut(cellOutPath(out, cell.Name, len(cells) > 1), sweep)
-		emitReport(sweep, fig, csv)
+		writeOut(cellOutPath(out, cell.Name, len(cells) > 1), sweeps[i])
+		emitReport(sweeps[i], fig, csv)
+	}
+}
+
+// effectiveWorkers mirrors the pool's clamping for the banner.
+func effectiveWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	return workers
+}
+
+// progressLine returns a Progress callback that keeps one live status line
+// on stderr: completed/total jobs, rate and ETA.  When stderr is not a
+// terminal (CI logs) it prints at most ~10 plain lines instead of
+// carriage-return spam; quiet suppresses it entirely.
+func progressLine(prefix string, quiet bool) func(cmpleak.SweepJobEvent) {
+	if quiet {
+		return nil
+	}
+	tty := false
+	if fi, err := os.Stderr.Stat(); err == nil {
+		tty = fi.Mode()&os.ModeCharDevice != 0
+	}
+	start := time.Now()
+	return func(ev cmpleak.SweepJobEvent) {
+		elapsed := time.Since(start)
+		rate := float64(ev.Done) / elapsed.Seconds()
+		eta := time.Duration(0)
+		if rate > 0 {
+			eta = time.Duration(float64(ev.Total-ev.Done)/rate) * time.Second
+		}
+		label := ev.Key.String()
+		if ev.Cell != "" {
+			label = ev.Cell + " " + label
+		}
+		if tty {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d jobs (%d%%) %.2f jobs/sec eta %s  [%s]\033[K",
+				prefix, ev.Done, ev.Total, 100*ev.Done/ev.Total, rate, eta.Round(time.Second), label)
+			if ev.Done == ev.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+			return
+		}
+		// Non-terminal: a line every ~10% and the final one.
+		step := ev.Total / 10
+		if step == 0 {
+			step = 1
+		}
+		if ev.Done%step == 0 || ev.Done == ev.Total {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d jobs (%d%%) %.2f jobs/sec eta %s\n",
+				prefix, ev.Done, ev.Total, 100*ev.Done/ev.Total, rate, eta.Round(time.Second))
+		}
 	}
 }
 
@@ -162,21 +257,25 @@ func cellOutPath(out, cellName string, multi bool) string {
 	return strings.TrimSuffix(out, ext) + "." + safe + ext
 }
 
-// runSweep executes one sweep with progress logging.
-func runSweep(opts cmpleak.SweepOptions, label string) *cmpleak.Sweep {
+// runSweep executes one sweep through the worker pool with live progress.
+func runSweep(opts cmpleak.SweepOptions, label string, workers int, quiet bool) *cmpleak.Sweep {
 	runs := len(opts.Jobs())
 	prefix := "leaksweep"
 	if label != "" {
 		prefix = "leaksweep[" + label + "]"
 	}
 	if opts.ShardCount > 1 {
-		fmt.Fprintf(os.Stderr, "%s: running %d simulations (shard %d/%d, scale=%.3g)...\n",
-			prefix, runs, opts.ShardIndex, opts.ShardCount, opts.Scale)
+		fmt.Fprintf(os.Stderr, "%s: running %d simulations (shard %d/%d, scale=%.3g, %d worker(s))...\n",
+			prefix, runs, opts.ShardIndex, opts.ShardCount, opts.Scale, effectiveWorkers(workers, runs))
 	} else {
-		fmt.Fprintf(os.Stderr, "%s: running %d simulations (scale=%.3g)...\n", prefix, runs, opts.Scale)
+		fmt.Fprintf(os.Stderr, "%s: running %d simulations (scale=%.3g, %d worker(s))...\n",
+			prefix, runs, opts.Scale, effectiveWorkers(workers, runs))
 	}
 	start := time.Now()
-	sweep, err := cmpleak.RunSweep(opts)
+	sweep, err := cmpleak.RunSweepParallel(opts, cmpleak.SweepParallelism{
+		Workers:  workers,
+		Progress: progressLine(prefix, quiet),
+	})
 	if err != nil {
 		fatalf("sweep failed: %v", err)
 	}

@@ -133,6 +133,38 @@ func DefaultSweepOptions(scale float64) SweepOptions {
 // figures are generated.
 func RunSweep(opts SweepOptions) (*Sweep, error) { return experiment.Run(opts) }
 
+// SweepParallelism configures the in-process worker pool of
+// RunSweepParallel / RunScenarioCells: the worker count (one engine per
+// worker; 0 = GOMAXPROCS) and an optional per-job progress callback.
+type SweepParallelism = experiment.Parallelism
+
+// SweepJobEvent is one pool progress notification: the job's key, its cell
+// label, success or failure, and completed/total counts.
+type SweepJobEvent = experiment.JobEvent
+
+// NamedSweepOptions labels one sweep of a RunSweepBatch batch.
+type NamedSweepOptions = experiment.NamedOptions
+
+// RunSweepParallel executes one sweep through the in-process worker pool;
+// the result is byte-identical (digest, figures, report) to RunSweep at any
+// worker count.
+func RunSweepParallel(opts SweepOptions, p SweepParallelism) (*Sweep, error) {
+	return experiment.RunParallel(opts, p)
+}
+
+// RunSweepBatch executes several sweeps' jobs through one shared pool and
+// returns one Sweep per entry, in input order.
+func RunSweepBatch(cells []NamedSweepOptions, p SweepParallelism) ([]*Sweep, error) {
+	return experiment.RunParallelAll(cells, p)
+}
+
+// RunScenarioCells fans every expanded scenario cell out through one shared
+// worker pool and returns one Sweep per cell, in cell order, each
+// byte-identical to running the cell serially.
+func RunScenarioCells(cells []ScenarioCell, p SweepParallelism) ([]*Sweep, error) {
+	return scenario.RunCells(cells, p)
+}
+
 // SweepShard is the JSON-serialisable snapshot of one sweep invocation
 // (typically one `leaksweep -shard i/n` process).
 type SweepShard = experiment.ShardFile

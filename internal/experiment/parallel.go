@@ -1,0 +1,221 @@
+package experiment
+
+// The in-process parallel sweep runtime: a goroutine worker pool that runs
+// the jobs of one or more sweeps concurrently and reassembles the results
+// into the exact Sweep a serial run would have produced.
+//
+// The simulation kernel is single-threaded by design (ROADMAP: determinism
+// over intra-run parallelism), so the parallelism unit is the job — one
+// (benchmark, size, technique) simulation with its own core.System and
+// engine.  Jobs are independent: each builds its configuration from the
+// sweep's immutable Options, so N workers hold N engines and share nothing
+// but the job queue and the result collector.  Because every job is
+// deterministic in isolation, the assembled Sweep — Digest(), figures,
+// rendered report — is byte-identical whatever the worker count or
+// completion order; the golden anchors pin that.
+//
+// Error handling preserves the cancel-on-first-failure contract of the
+// original serial pool (PR 1): the first failure stops the feed, workers
+// drain the queue without simulating, and the returned error is the failure
+// of the *earliest job in feed order* among those that failed — temporal
+// completion order never leaks into the API, so a failing sweep reports the
+// same error at any worker count.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cmpleak/internal/core"
+)
+
+// Parallelism configures the worker pool of RunParallel / RunParallelAll.
+type Parallelism struct {
+	// Workers is the number of concurrent simulation workers; each runs one
+	// core.System (its own engine) at a time.  Zero or negative means
+	// runtime.GOMAXPROCS(0); the pool never starts more workers than jobs.
+	Workers int
+	// Progress, when non-nil, is called once per completed job — success or
+	// failure — from the pool's collector, serialised (never concurrently)
+	// and in completion order.  It must not call back into the experiment
+	// layer.  Jobs skipped after a failure cancels the sweep produce no
+	// event.
+	Progress func(JobEvent)
+}
+
+// JobEvent is one progress notification: a job finished (or failed).
+type JobEvent struct {
+	// Cell is the label of the sweep the job belongs to ("" for a plain
+	// RunParallel) and Sweep its index in the RunParallelAll batch.
+	Cell  string
+	Sweep int
+	// Key identifies the job; Index is its position in the sweep's feed
+	// order (Options.Jobs() order).
+	Key   Key
+	Index int
+	// Err is the job's failure, nil on success.
+	Err error
+	// Done counts jobs completed across the whole batch, this one included;
+	// Total is the batch's job count, so Done == Total marks the last event.
+	Done  int
+	Total int
+	// Elapsed is the wall time of this job's simulation.
+	Elapsed time.Duration
+}
+
+// NamedOptions labels one sweep of a RunParallelAll batch (scenario cells
+// carry their cell name here).
+type NamedOptions struct {
+	Name    string
+	Options Options
+}
+
+// RunParallel executes one sweep through the worker pool and returns the
+// same Sweep a serial Run produces, byte for byte.
+func RunParallel(opts Options, p Parallelism) (*Sweep, error) {
+	sweeps, err := RunParallelAll([]NamedOptions{{Options: opts}}, p)
+	if err != nil {
+		return nil, err
+	}
+	return sweeps[0], nil
+}
+
+// RunParallelAll executes several sweeps' jobs through one shared worker
+// pool and returns one Sweep per entry, in input order.  Flattening the
+// batch into a single queue keeps an N-core box saturated even when
+// individual sweeps hold fewer jobs than workers — the scenario layer fans
+// multi-cell scenarios out through exactly this path.  The first failing
+// job cancels the whole batch.
+func RunParallelAll(cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
+	for i := range cells {
+		if err := cells[i].Options.Validate(); err != nil {
+			if cells[i].Name != "" {
+				return nil, fmt.Errorf("%s: %w", cells[i].Name, err)
+			}
+			return nil, err
+		}
+	}
+
+	// Flatten every sweep's feed-order job list into one queue; results go
+	// back into per-sweep, per-index slots, so assembly below never depends
+	// on completion order.
+	type flatJob struct {
+		sweep, index int
+		job          job
+	}
+	var flat []flatJob
+	perSweep := make([][]job, len(cells))
+	for si := range cells {
+		js := cells[si].Options.jobs()
+		perSweep[si] = js
+		for ji, j := range js {
+			flat = append(flat, flatJob{sweep: si, index: ji, job: j})
+		}
+	}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(flat) {
+		workers = len(flat)
+	}
+
+	results := make([][]core.Result, len(cells))
+	for si := range cells {
+		results[si] = make([]core.Result, len(perSweep[si]))
+	}
+	jobErrs := make([]error, len(flat))
+
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		failed bool
+		done   int
+	)
+	cancel := make(chan struct{}) // closed under mu on the first failure
+	jobCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range jobCh {
+				mu.Lock()
+				stop := failed
+				mu.Unlock()
+				if stop {
+					// Drain without simulating: the job may already have
+					// been fed when the failure closed the cancel channel.
+					continue
+				}
+				fj := flat[fi]
+				opts := &cells[fj.sweep].Options
+				cfg := opts.Base.
+					WithBenchmark(fj.job.key.Benchmark).
+					WithTotalL2MB(fj.job.key.SizeMB).
+					WithTechnique(fj.job.spec)
+				cfg.WorkloadScale = opts.Scale
+				cfg.Seed = opts.Seed
+				start := time.Now()
+				res, err := runJob(cfg)
+				elapsed := time.Since(start)
+
+				mu.Lock()
+				if err != nil {
+					jobErrs[fi] = fmt.Errorf("experiment: %s: %w", fj.job.key, err)
+					if !failed {
+						failed = true
+						close(cancel)
+					}
+				} else {
+					results[fj.sweep][fj.index] = res
+				}
+				done++
+				if p.Progress != nil {
+					p.Progress(JobEvent{
+						Cell:    cells[fj.sweep].Name,
+						Sweep:   fj.sweep,
+						Key:     fj.job.key,
+						Index:   fj.index,
+						Err:     jobErrs[fi],
+						Done:    done,
+						Total:   len(flat),
+						Elapsed: elapsed,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for fi := range flat {
+		select {
+		case jobCh <- fi:
+		case <-cancel:
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Feed-order-first error: deterministic at any worker count.
+	for _, err := range jobErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]*Sweep, len(cells))
+	for si := range cells {
+		s := &Sweep{
+			Options: cells[si].Options,
+			results: make(map[Key]core.Result, len(perSweep[si])),
+		}
+		for ji, j := range perSweep[si] {
+			s.results[j.key] = results[si][ji]
+		}
+		out[si] = s
+	}
+	return out, nil
+}

@@ -6,9 +6,7 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"cmpleak/internal/config"
 	"cmpleak/internal/core"
@@ -157,77 +155,13 @@ func (o Options) Jobs() []Key {
 
 // Run executes the sweep: every (benchmark, size) pair runs the baseline and
 // every requested technique (restricted to this shard when sharding is
-// enabled).  Runs execute in parallel up to Options.Parallelism simultaneous
-// simulations.  The first failing job cancels the rest of the sweep: queued
-// jobs are not fed, and workers skip any job already in flight toward them.
+// enabled).  It is the serial-options entry point over the worker pool in
+// parallel.go: runs execute concurrently up to Options.Parallelism workers,
+// the first failing job cancels the rest of the sweep, and the result is
+// byte-identical at any worker count.  Callers that want progress events or
+// an explicit worker count use RunParallel directly.
 func Run(opts Options) (*Sweep, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	jobs := opts.jobs()
-
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	sweep := &Sweep{Options: opts, results: make(map[Key]core.Result, len(jobs))}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-	)
-	cancel := make(chan struct{}) // closed under mu when firstErr is set
-	jobCh := make(chan job)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobCh {
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
-					// Drain without simulating: a job may already have been
-					// fed before the failure closed the cancel channel.
-					continue
-				}
-				cfg := opts.Base.
-					WithBenchmark(j.key.Benchmark).
-					WithTotalL2MB(j.key.SizeMB).
-					WithTechnique(j.spec)
-				cfg.WorkloadScale = opts.Scale
-				cfg.Seed = opts.Seed
-				res, err := runJob(cfg)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("experiment: %s: %w", j.key, err)
-					close(cancel)
-				}
-				if err == nil {
-					sweep.results[j.key] = res
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-feed:
-	for _, j := range jobs {
-		select {
-		case jobCh <- j:
-		case <-cancel:
-			break feed
-		}
-	}
-	close(jobCh)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return sweep, nil
+	return RunParallel(opts, Parallelism{Workers: opts.Parallelism})
 }
 
 // Result returns the run identified by the key.

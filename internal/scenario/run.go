@@ -1,0 +1,24 @@
+package scenario
+
+import (
+	"cmpleak/internal/experiment"
+)
+
+// RunCells executes every expanded cell of a scenario through one shared
+// worker pool: the jobs of all cells flatten into a single queue, so an
+// N-core box stays saturated even when individual cells hold fewer jobs
+// than workers (a 2-core cell's tail no longer idles the workers a
+// following 8-core cell could use).  Results come back as one Sweep per
+// cell, in cell order, each byte-identical — Digest(), figures, rendered
+// report — to running that cell's Options through a serial experiment.Run.
+//
+// Progress events carry the cell name in JobEvent.Cell.  The first failing
+// job cancels the whole scenario, and the returned error names the earliest
+// failed job in (cell, feed) order.
+func RunCells(cells []Cell, p experiment.Parallelism) ([]*experiment.Sweep, error) {
+	named := make([]experiment.NamedOptions, len(cells))
+	for i, c := range cells {
+		named[i] = experiment.NamedOptions{Name: c.Name, Options: c.Options}
+	}
+	return experiment.RunParallelAll(named, p)
+}

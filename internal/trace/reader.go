@@ -117,6 +117,32 @@ func (f *File) Header() Header { return f.hdr }
 // EntryCounts returns the per-core entry totals declared by the chunk index.
 func (f *File) EntryCounts() []uint64 { return append([]uint64(nil), f.perCore...) }
 
+// inflater bundles the reusable DEFLATE state of one replay cursor: the
+// decompressor (which owns a 32 KB sliding window and two Huffman work
+// areas — tens of kilobytes of setup), the bytes.Reader that feeds it, and
+// the staging buffer chunks inflate into.  A sweep builds one Reader per
+// core per simulation — thousands across a matrix — so the state lives in a
+// sync.Pool: a Reader borrows an inflater at its first compressed chunk and
+// hands it back when the trace is exhausted (or errors), and steady-state
+// replay rebuilds nothing but flate's per-block dynamic-Huffman link
+// tables, the known irreducible residual.
+type inflater struct {
+	rc  io.ReadCloser
+	br  bytes.Reader
+	buf []byte
+}
+
+var inflaterPool = sync.Pool{New: func() any { return new(inflater) }}
+
+// release hands the inflater back to the pool and clears the borrower's
+// reference, so double releases are no-ops.
+func release(infp **inflater) {
+	if *infp != nil {
+		inflaterPool.Put(*infp)
+		*infp = nil
+	}
+}
+
 // Verify fully decodes every chunk — decompression, varint framing, entry
 // counts — without retaining anything, so a verified File cannot produce a
 // decode error during replay.  The result is cached.
@@ -124,14 +150,11 @@ func (f *File) Verify() error {
 	if f.verified {
 		return nil
 	}
-	var (
-		inf io.ReadCloser
-		br  bytes.Reader
-		dec []byte
-		buf [512]workload.Entry
-	)
+	var inf *inflater
+	defer release(&inf)
+	var buf [512]workload.Entry
 	for i, ref := range f.chunks {
-		payload, err := f.stageChunk(ref, &inf, &br, &dec)
+		payload, err := f.stageChunk(ref, &inf)
 		if err != nil {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}
@@ -157,29 +180,37 @@ func (f *File) Verify() error {
 	return nil
 }
 
-// stageChunk returns the decoded (decompressed) payload of a chunk,
-// reusing the caller's flate reader and staging buffer.
-func (f *File) stageChunk(ref chunkRef, inf *io.ReadCloser, br *bytes.Reader, dec *[]byte) ([]byte, error) {
+// stageChunk returns the decoded (decompressed) payload of a chunk.  The
+// caller's inflater reference is populated from the pool at the first
+// compressed chunk and reused thereafter; the returned payload aliases the
+// inflater's staging buffer, so it stays valid only until the next
+// stageChunk call or the inflater's release.
+func (f *File) stageChunk(ref chunkRef, infp **inflater) ([]byte, error) {
 	stored := f.data[ref.payloadOff : ref.payloadOff+int(ref.hdr.storedLen)]
 	if ref.hdr.flags&flagCompressed == 0 {
 		return stored, nil
 	}
-	br.Reset(stored)
-	if *inf == nil {
-		*inf = flate.NewReader(br)
-	} else if err := (*inf).(flate.Resetter).Reset(br, nil); err != nil {
+	inf := *infp
+	if inf == nil {
+		inf = inflaterPool.Get().(*inflater)
+		*infp = inf
+	}
+	inf.br.Reset(stored)
+	if inf.rc == nil {
+		inf.rc = flate.NewReader(&inf.br)
+	} else if err := inf.rc.(flate.Resetter).Reset(&inf.br, nil); err != nil {
 		return nil, corruptf("resetting inflater: %v", err)
 	}
-	if cap(*dec) < int(ref.hdr.encLen) {
-		*dec = make([]byte, ref.hdr.encLen)
+	if cap(inf.buf) < int(ref.hdr.encLen) {
+		inf.buf = make([]byte, ref.hdr.encLen)
 	}
-	out := (*dec)[:ref.hdr.encLen]
-	if _, err := io.ReadFull(*inf, out); err != nil {
+	out := inf.buf[:ref.hdr.encLen]
+	if _, err := io.ReadFull(inf.rc, out); err != nil {
 		return nil, corruptf("inflating chunk: %v", err)
 	}
 	// The stream must end exactly at encLen bytes.
 	var one [1]byte
-	if n, _ := (*inf).Read(one[:]); n != 0 {
+	if n, _ := inf.rc.Read(one[:]); n != 0 {
 		return nil, corruptf("compressed chunk inflates past its declared %d bytes", ref.hdr.encLen)
 	}
 	return out, nil
@@ -194,8 +225,10 @@ func (f *File) Stream(core int) *Reader {
 
 // Reader is one core's replay cursor.  It implements workload.Stream and
 // workload.BatchStream, decoding straight into the caller's batch buffer:
-// after the first compressed chunk sized its staging buffer, NextBatch runs
-// allocation-free.
+// the DEFLATE state is borrowed from a process-wide pool at the first
+// compressed chunk (and returned at end of trace), so steady-state
+// NextBatch runs allocation-free and building a Reader costs no
+// decompressor setup.
 type Reader struct {
 	f    *File
 	core int
@@ -206,9 +239,7 @@ type Reader struct {
 	remaining int
 	prevAddr  mem.Addr
 
-	inflate io.ReadCloser
-	br      bytes.Reader
-	decBuf  []byte
+	inf *inflater // pooled; non-nil only between first compressed chunk and end of trace
 
 	err error
 }
@@ -220,16 +251,21 @@ func (r *Reader) Err() error { return r.err }
 // Core returns the stream's core index.
 func (r *Reader) Core() int { return r.core }
 
-// nextChunk stages the next chunk owned by this core; false at end of trace.
+// nextChunk stages the next chunk owned by this core; false at end of trace
+// or on a decode error — either way the pooled DEFLATE state goes back for
+// the next Reader (release is idempotent, so repeated calls after
+// exhaustion are fine).
 func (r *Reader) nextChunk() bool {
 	for ; r.ci < len(r.f.chunks); r.ci++ {
 		ref := r.f.chunks[r.ci]
 		if int(ref.hdr.core) != r.core {
 			continue
 		}
-		payload, err := r.f.stageChunk(ref, &r.inflate, &r.br, &r.decBuf)
+		payload, err := r.f.stageChunk(ref, &r.inf)
 		if err != nil {
 			r.err = err
+			r.payload = nil
+			release(&r.inf)
 			return false
 		}
 		r.payload = payload
@@ -239,6 +275,8 @@ func (r *Reader) nextChunk() bool {
 		r.ci++
 		return true
 	}
+	r.payload = nil
+	release(&r.inf)
 	return false
 }
 
@@ -261,12 +299,16 @@ func (r *Reader) NextBatch(buf []workload.Entry) int {
 		pos, prev, err := decodeEntries(r.payload, r.pos, r.prevAddr, buf[n:n+k])
 		if err != nil {
 			r.err = err
+			r.payload = nil
+			release(&r.inf)
 			return n
 		}
 		r.pos, r.prevAddr = pos, prev
 		r.remaining -= k
 		if r.remaining == 0 && r.pos != len(r.payload) {
 			r.err = corruptf("chunk payload has %d trailing bytes", len(r.payload)-r.pos)
+			r.payload = nil
+			release(&r.inf)
 			return n
 		}
 		n += k

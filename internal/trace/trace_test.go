@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"os"
+	"runtime"
 	"testing"
 
 	"cmpleak/internal/mem"
@@ -421,5 +422,90 @@ func TestTraceNextBatchAllocationFree(t *testing.T) {
 				t.Fatal(r.Err())
 			}
 		})
+	}
+}
+
+// TestTraceReaderSetupAllocationFree guards the pooled-inflater path
+// (`make test-allocs`): a sweep builds one Reader per core per simulation,
+// and with the DEFLATE state pooled, standing up a fresh compressed Reader
+// and draining it must not pay the decompressor setup again — no 32 KB
+// sliding window, no Huffman work areas.  The bytes bound is the teeth: the
+// window alone is 32 KB, so an unpooled NewReader per cursor fails it
+// immediately.  The small object allowance covers the Reader itself and
+// flate's per-block dynamic-Huffman link tables (the documented residual).
+func TestTraceReaderSetupAllocationFree(t *testing.T) {
+	// A small trace (few chunks, so few deflate blocks) keeps the
+	// per-block residual well under the decompressor-setup cost the test
+	// is guarding against.
+	entries := benchEntries(t, "WATER-NS", 1, 0, 0.01, 3)
+	data := writeTrace(t, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "WATER-NS"},
+		trace.WriterOptions{Compress: true}, [][]workload.Entry{entries})
+	f, err := trace.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]workload.Entry, 256)
+	drain := func() {
+		r := f.Stream(0)
+		for r.NextBatch(buf) > 0 {
+		}
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	}
+	drain() // warm the pool (first drain may allocate the pooled inflater)
+
+	const rounds = 20
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < rounds; i++ {
+		drain()
+	}
+	runtime.ReadMemStats(&after)
+	perDrain := float64(after.TotalAlloc-before.TotalAlloc) / rounds
+	objects := float64(after.Mallocs-before.Mallocs) / rounds
+	t.Logf("fresh compressed Reader drain: %.0f bytes, %.1f objects", perDrain, objects)
+	if perDrain > 16*1024 {
+		t.Errorf("draining a fresh compressed Reader allocates %.0f bytes, want < 16384 "+
+			"(the pooled decompressor must not be rebuilt per cursor)", perDrain)
+	}
+}
+
+// TestConcurrentCompressedReplay drives many simultaneous Readers over one
+// shared compressed File — the parallel sweep runtime's access pattern —
+// so `go test -race` exercises the inflater pool and the shared chunk index
+// under real contention, and every goroutine checks it decodes the exact
+// recorded sequence.
+func TestConcurrentCompressedReplay(t *testing.T) {
+	entries := benchEntries(t, "FMM", 1, 0, 0.05, 9)
+	data := writeTrace(t, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "FMM"},
+		trace.WriterOptions{Compress: true}, [][]workload.Entry{entries})
+	f, err := trace.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			got := workload.Drain(f.Stream(0))
+			if len(got) != len(entries) {
+				errs <- errors.New("short replay")
+				return
+			}
+			for i := range got {
+				if got[i] != entries[i] {
+					errs <- errors.New("replayed entry diverged from the recording")
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
