@@ -12,12 +12,12 @@ FUZZTIME ?= 5s
 # Minimum total statement coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 70
 
-.PHONY: ci fmt vet build test test-allocs race cover fuzz-smoke bench-smoke bench bench-sweep bench-baseline bench-compare
+.PHONY: ci fmt vet build test test-allocs test-faults race cover fuzz-smoke bench-smoke bench bench-sweep bench-baseline bench-compare
 
 # cover runs the full test suite (instrumented) and fails on any test
 # failure, so ci does not also run the plain `test` target — that would
 # execute every test twice for no extra guarantee.
-ci: fmt vet build cover test-allocs race fuzz-smoke bench-smoke
+ci: fmt vet build cover test-allocs test-faults race fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -44,6 +44,16 @@ test-allocs:
 		./internal/sim ./internal/cache ./internal/core ./internal/decay \
 		./internal/workload ./internal/stats ./internal/trace
 
+# test-faults runs the whole fault-tolerance surface under the race
+# detector: fault injection, panic containment, retry/backoff, context
+# cancellation, the crash-safe journal and the SIGKILL crash-resume
+# integration tests.  Recovery paths are exercised, never trusted.
+test-faults:
+	$(GO) test -race -count 1 ./internal/faultinject
+	$(GO) test -race -count 1 \
+		-run 'Fault|Panic|Retry|Journal|Resume|Context|Backoff|Transient|TraceBenchmark|TraceFile|FailsBeforeSimulating' \
+		./internal/experiment ./internal/trace ./internal/scenario ./cmd/leaksweep
+
 # race runs the full suite under the race detector.  The timing model is
 # single-goroutine by design, but trace readers, shard merges and the
 # example/figure drivers do fan out; this keeps them honest.
@@ -67,6 +77,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime $(FUZZTIME) ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime $(FUZZTIME) ./internal/experiment
 
 # bench-smoke proves the benchmark harness still runs end to end: one
 # iteration of the scheduler microbenchmarks and one reduced-scale

@@ -31,12 +31,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 	"time"
 
 	"cmpleak"
@@ -194,8 +197,12 @@ func sweepThroughput(traceFile string, l2MB, cores int, thermal bool, workers in
 	cells := len(opts.Jobs())
 	fmt.Printf("sweep: %d cells (baseline + %d techniques) through %d worker(s)...\n",
 		cells, len(opts.Techniques), workers)
+	// ^C cancels the calibration sweep cleanly instead of leaving a partial
+	// line: in-flight cells finish, then the pool reports the interruption.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	sweep, err := cmpleak.RunSweepParallel(opts, cmpleak.SweepParallelism{Workers: workers})
+	sweep, err := cmpleak.RunSweepParallelContext(ctx, opts, cmpleak.SweepParallelism{Workers: workers})
 	if err != nil {
 		fatalf("sweep: %v", err)
 	}

@@ -42,16 +42,27 @@
 //
 // Benchmarks may be recorded traces: -benchmarks trace:fmm.trc sweeps a
 // tracegen file through every size and technique like a synthetic name.
+//
+// Long runs survive interruption: -journal FILE appends every completed job
+// to a crash-safe journal (CRC-framed, torn tails self-heal), SIGINT/SIGTERM
+// cancel gracefully — in-flight jobs finish, the journal is flushed, and the
+// exact -resume invocation is printed — and -resume skips every journaled
+// job, producing output byte-identical to an uninterrupted run.  -retries N
+// replays jobs that fail transiently (host I/O) with deterministic backoff.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"cmpleak"
@@ -72,8 +83,18 @@ func main() {
 		shard      = flag.String("shard", "", "run shard i of n sweep jobs, as \"i/n\" (default: all jobs)")
 		out        = flag.String("out", "", "write the run's results as a shard JSON file (one per cell with -scenario)")
 		merge      = flag.String("merge", "", "merge shard JSON files matching this glob instead of running")
+		journal    = flag.String("journal", "", "append each completed job to this crash-safe journal file")
+		resume     = flag.Bool("resume", false, "skip jobs already recorded in the -journal file")
+		retries    = flag.Int("retries", 0, "extra attempts per job for transient failures (0 = fail on first error)")
 	)
 	flag.Parse()
+
+	if *resume && *journal == "" {
+		fatalf("-resume replays a -journal file; set -journal too")
+	}
+	if *retries < 0 {
+		fatalf("-retries must be >= 0")
+	}
 
 	workers := *jobs
 	if flagWasSet("parallel") {
@@ -90,6 +111,9 @@ func main() {
 		if *scenario != "" {
 			fatalf("-merge joins completed shards; it cannot be combined with -scenario")
 		}
+		if *journal != "" {
+			fatalf("-merge runs nothing; it cannot be combined with -journal")
+		}
 		sweep, err := cmpleak.MergeSweepShardGlob(*merge)
 		if err != nil {
 			fatalf("%v", err)
@@ -98,6 +122,13 @@ func main() {
 		emitReport(sweep, *fig, *csv)
 		return
 	}
+
+	// SIGINT/SIGTERM cancel the pool: in-flight jobs finish, the journal is
+	// flushed, and the resume invocation prints.  A second signal kills the
+	// process the usual way (stop() restores default handling after the
+	// first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	shardIndex, shardCount := 0, 0
 	if *shard != "" {
@@ -108,13 +139,18 @@ func main() {
 		shardIndex, shardCount = i, n
 	}
 
+	rc := runConfig{
+		workers: workers, quiet: *quiet,
+		journal: *journal, resume: *resume, retries: *retries,
+	}
+
 	if *scenario != "" {
 		for _, name := range []string{"benchmarks", "sizes", "scale", "seed"} {
 			if flagWasSet(name) {
 				fatalf("-scenario files declare the %s axis; drop -%s", name, name)
 			}
 		}
-		runScenario(*scenario, shardIndex, shardCount, workers, *quiet, *out, *fig, *csv)
+		runScenario(ctx, *scenario, shardIndex, shardCount, rc, *out, *fig, *csv)
 		return
 	}
 
@@ -136,14 +172,107 @@ func main() {
 		opts.CacheSizesMB = mbs
 	}
 
-	sweep := runSweep(opts, "", workers, *quiet)
+	sweep := runSweep(ctx, opts, "", rc)
 	writeOut(*out, sweep)
 	emitReport(sweep, *fig, *csv)
 }
 
+// runConfig bundles the execution settings shared by the flag-driven and
+// scenario paths.
+type runConfig struct {
+	workers int
+	quiet   bool
+	journal string
+	resume  bool
+	retries int
+}
+
+// parallelism builds the pool configuration: workers, live progress, the
+// retry policy (seeded so backoff schedules are reproducible) and — with
+// -journal — the journal appender chained onto the progress callback plus
+// the resume lookup.  It returns the open journal (nil without -journal)
+// and how many jobs resume will skip.
+func (rc runConfig) parallelism(prefix string, named []cmpleak.NamedSweepOptions, seed uint64) (cmpleak.SweepParallelism, *cmpleak.SweepJournal, int) {
+	p := cmpleak.SweepParallelism{
+		Workers:  rc.workers,
+		Progress: progressLine(prefix, rc.quiet),
+	}
+	if rc.retries > 0 {
+		p.Retry = cmpleak.SweepRetryPolicy{MaxAttempts: rc.retries + 1, Seed: seed}
+	}
+	if rc.journal == "" {
+		return p, nil, 0
+	}
+	j, recs, err := cmpleak.OpenSweepJournal(rc.journal)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	skipped := 0
+	if len(recs) > 0 && !rc.resume {
+		fatalf("journal %s already holds %d records; pass -resume to continue that run or remove the file",
+			rc.journal, len(recs))
+	}
+	if rc.resume && len(recs) > 0 {
+		rs := cmpleak.BuildSweepResumeSet(named, recs)
+		if rs.Ignored() > 0 {
+			fmt.Fprintf(os.Stderr, "%s: journal %s: ignoring %d record(s) from other configurations\n",
+				prefix, rc.journal, rs.Ignored())
+		}
+		fmt.Fprintf(os.Stderr, "%s: resuming from %s: skipping %d journaled job(s)\n",
+			prefix, rc.journal, rs.Matched())
+		p.Reuse = rs.Lookup
+		skipped = rs.Matched()
+	}
+	digests := make([]string, len(named))
+	for i := range named {
+		digests[i] = named[i].Options.Digest()
+	}
+	inner := p.Progress
+	p.Progress = func(ev cmpleak.SweepJobEvent) {
+		if ev.Err == nil {
+			if aerr := j.Append(cmpleak.SweepJournalRecord{
+				Cell: ev.Cell, OptionsDigest: digests[ev.Sweep], Key: ev.Key, Result: ev.Result,
+			}); aerr != nil {
+				fmt.Fprintf(os.Stderr, "%s: journal append: %v\n", prefix, aerr)
+			}
+		}
+		if inner != nil {
+			inner(ev)
+		}
+	}
+	return p, j, skipped
+}
+
+// finishRun closes the journal and translates a pool error into an exit:
+// cancellation prints the exact resume invocation (exit 130, the SIGINT
+// convention), anything else is fatal.
+func finishRun(prefix string, err error, j *cmpleak.SweepJournal, rc runConfig) {
+	if j != nil {
+		if cerr := j.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "%s: closing journal: %v\n", prefix, cerr)
+		}
+	}
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+		if rc.journal != "" {
+			args := append([]string(nil), os.Args...)
+			if !rc.resume {
+				args = append(args, "-resume")
+			}
+			fmt.Fprintf(os.Stderr, "%s: completed jobs are journaled; resume with:\n  %s\n",
+				prefix, strings.Join(args, " "))
+		}
+		os.Exit(130)
+	}
+	fatalf("sweep failed: %v", err)
+}
+
 // runScenario expands the scenario file and fans every cell out through one
 // shared worker pool, then reports the cells in order.
-func runScenario(path string, shardIndex, shardCount, workers int, quiet bool, out, fig string, csv bool) {
+func runScenario(ctx context.Context, path string, shardIndex, shardCount int, rc runConfig, out, fig string, csv bool) {
 	sc, err := cmpleak.LoadScenario(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -159,20 +288,16 @@ func runScenario(path string, shardIndex, shardCount, workers int, quiet bool, o
 	}
 	if shardCount > 1 {
 		fmt.Fprintf(os.Stderr, "leaksweep: scenario %s: %d cell(s), %d jobs (shard %d/%d), %d worker(s)\n",
-			path, len(cells), totalJobs, shardIndex, shardCount, effectiveWorkers(workers, totalJobs))
+			path, len(cells), totalJobs, shardIndex, shardCount, effectiveWorkers(rc.workers, totalJobs))
 	} else {
 		fmt.Fprintf(os.Stderr, "leaksweep: scenario %s: %d cell(s), %d jobs, %d worker(s)\n",
-			path, len(cells), totalJobs, effectiveWorkers(workers, totalJobs))
+			path, len(cells), totalJobs, effectiveWorkers(rc.workers, totalJobs))
 	}
 
+	p, j, _ := rc.parallelism("leaksweep", cmpleak.ScenarioNamedOptions(cells), 0)
 	start := time.Now()
-	sweeps, err := cmpleak.RunScenarioCells(cells, cmpleak.SweepParallelism{
-		Workers:  workers,
-		Progress: progressLine("leaksweep", quiet),
-	})
-	if err != nil {
-		fatalf("scenario failed: %v", err)
-	}
+	sweeps, err := cmpleak.RunScenarioCellsContext(ctx, cells, p)
+	finishRun("leaksweep", err, j, rc)
 	fmt.Fprintf(os.Stderr, "leaksweep: done in %s\n", time.Since(start).Round(time.Second))
 
 	for i, cell := range cells {
@@ -258,7 +383,7 @@ func cellOutPath(out, cellName string, multi bool) string {
 }
 
 // runSweep executes one sweep through the worker pool with live progress.
-func runSweep(opts cmpleak.SweepOptions, label string, workers int, quiet bool) *cmpleak.Sweep {
+func runSweep(ctx context.Context, opts cmpleak.SweepOptions, label string, rc runConfig) *cmpleak.Sweep {
 	runs := len(opts.Jobs())
 	prefix := "leaksweep"
 	if label != "" {
@@ -266,19 +391,16 @@ func runSweep(opts cmpleak.SweepOptions, label string, workers int, quiet bool) 
 	}
 	if opts.ShardCount > 1 {
 		fmt.Fprintf(os.Stderr, "%s: running %d simulations (shard %d/%d, scale=%.3g, %d worker(s))...\n",
-			prefix, runs, opts.ShardIndex, opts.ShardCount, opts.Scale, effectiveWorkers(workers, runs))
+			prefix, runs, opts.ShardIndex, opts.ShardCount, opts.Scale, effectiveWorkers(rc.workers, runs))
 	} else {
 		fmt.Fprintf(os.Stderr, "%s: running %d simulations (scale=%.3g, %d worker(s))...\n",
-			prefix, runs, opts.Scale, effectiveWorkers(workers, runs))
+			prefix, runs, opts.Scale, effectiveWorkers(rc.workers, runs))
 	}
+	named := []cmpleak.NamedSweepOptions{{Options: opts}}
+	p, j, _ := rc.parallelism(prefix, named, opts.Seed)
 	start := time.Now()
-	sweep, err := cmpleak.RunSweepParallel(opts, cmpleak.SweepParallelism{
-		Workers:  workers,
-		Progress: progressLine(prefix, quiet),
-	})
-	if err != nil {
-		fatalf("sweep failed: %v", err)
-	}
+	sweep, err := cmpleak.RunSweepParallelContext(ctx, opts, p)
+	finishRun(prefix, err, j, rc)
 	fmt.Fprintf(os.Stderr, "%s: done in %s\n", prefix, time.Since(start).Round(time.Second))
 	return sweep
 }

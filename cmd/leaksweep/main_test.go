@@ -1,0 +1,188 @@
+package main
+
+// Crash-resume integration tests: a real leaksweep subprocess is killed
+// (SIGKILL — no cleanup of any kind) mid-sweep with -journal, resumed with
+// -resume, and the resumed stdout must be byte-identical to an
+// uninterrupted run.  The subprocess is this test binary re-executed with
+// LEAKSWEEP_RUN_MAIN=1, so no separate build step is needed.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cmpleak"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("LEAKSWEEP_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// sweepArgs is a small (8-job) but real sweep: one benchmark, one size,
+// the full paper technique set, heavily scaled down.
+func sweepArgs(extra ...string) []string {
+	args := []string{"-benchmarks", "WATER-NS", "-sizes", "1", "-scale", "0.005",
+		"-seed", "7", "-jobs", "2", "-quiet"}
+	return append(args, extra...)
+}
+
+// runMain executes this test binary as leaksweep.
+func runMain(t *testing.T, args []string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "LEAKSWEEP_RUN_MAIN=1")
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// waitForRecords polls the journal until it holds at least n records.
+func waitForRecords(t *testing.T, path string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if recs, err := cmpleak.LoadSweepJournal(path); err == nil && len(recs) >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("journal %s never reached %d records", path, n)
+}
+
+// TestCrashResumeByteIdentical is the tentpole's end-to-end proof: SIGKILL
+// a journaling sweep mid-run, resume it, and compare stdout byte for byte
+// against an uninterrupted run.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	wantOut, _, code := runMain(t, sweepArgs())
+	if code != 0 {
+		t.Fatalf("reference run exited %d", code)
+	}
+	if !strings.Contains(wantOut, "Figure") {
+		t.Fatalf("reference run produced no report:\n%s", wantOut)
+	}
+
+	jnl := filepath.Join(t.TempDir(), "crash.jnl")
+	cmd := exec.Command(os.Args[0], sweepArgs("-journal", jnl)...)
+	cmd.Env = append(os.Environ(), "LEAKSWEEP_RUN_MAIN=1")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill as soon as at least one job is journaled but (hopefully) before
+	// the sweep finishes.  If the process wins the race and completes, the
+	// resume below simply reuses everything — the assertion holds either way.
+	waitForRecords(t, jnl, 1)
+	cmd.Process.Kill() // SIGKILL: no flush, no handler, nothing
+	cmd.Wait()
+
+	recsBefore, err := cmpleak.LoadSweepJournal(jnl)
+	if err != nil {
+		t.Fatalf("journal unreadable after SIGKILL: %v", err)
+	}
+	t.Logf("killed with %d of 8 jobs journaled", len(recsBefore))
+
+	gotOut, gotErr, code := runMain(t, sweepArgs("-journal", jnl, "-resume"))
+	if code != 0 {
+		t.Fatalf("resume run exited %d:\n%s", code, gotErr)
+	}
+	if !strings.Contains(gotErr, "resuming from") {
+		t.Fatalf("resume run did not announce the resume:\n%s", gotErr)
+	}
+	if gotOut != wantOut {
+		t.Fatalf("resumed stdout diverged from the uninterrupted run\n--- want ---\n%s\n--- got ---\n%s", wantOut, gotOut)
+	}
+}
+
+// TestJournalRefusesStaleWithoutResume proves an existing journal is never
+// silently overwritten.
+func TestJournalRefusesStaleWithoutResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	jnl := filepath.Join(t.TempDir(), "done.jnl")
+	if _, _, code := runMain(t, sweepArgs("-journal", jnl)); code != 0 {
+		t.Fatalf("journaled run exited %d", code)
+	}
+	_, stderr, code := runMain(t, sweepArgs("-journal", jnl))
+	if code == 0 {
+		t.Fatal("rerun over a populated journal succeeded without -resume")
+	}
+	if !strings.Contains(stderr, "-resume") {
+		t.Fatalf("refusal does not point at -resume:\n%s", stderr)
+	}
+}
+
+// TestResumeRequiresJournal pins the flag contract.
+func TestResumeRequiresJournal(t *testing.T) {
+	_, stderr, code := runMain(t, sweepArgs("-resume"))
+	if code == 0 {
+		t.Fatal("-resume without -journal accepted")
+	}
+	if !strings.Contains(stderr, "-journal") {
+		t.Fatalf("error does not mention -journal:\n%s", stderr)
+	}
+}
+
+// TestSigintGracefulShutdown sends SIGINT mid-sweep: the process must exit
+// 130, flush the journal, and print the exact resume invocation.
+func TestSigintGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	jnl := filepath.Join(t.TempDir(), "int.jnl")
+	// -jobs 1 stretches the run so the signal lands before completion.
+	args := sweepArgs("-journal", jnl)
+	for i, a := range args {
+		if a == "-jobs" {
+			args[i+1] = "1"
+		}
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "LEAKSWEEP_RUN_MAIN=1")
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitForRecords(t, jnl, 1)
+	cmd.Process.Signal(syscall.SIGINT)
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if err == nil {
+		t.Skip("sweep finished before the signal landed")
+	}
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("interrupted run exited %v, want code 130\n%s", err, errBuf.String())
+	}
+	for _, want := range []string{"canceled", "resume with", "-resume"} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Fatalf("shutdown message missing %q:\n%s", want, errBuf.String())
+		}
+	}
+	// The journal must be loadable and feed a clean resume.
+	gotOut, _, code := runMain(t, sweepArgs("-journal", jnl, "-resume"))
+	if code != 0 {
+		t.Fatalf("resume after SIGINT exited %d", code)
+	}
+	if !strings.Contains(gotOut, "Figure") {
+		t.Fatal("resume after SIGINT produced no report")
+	}
+}

@@ -23,6 +23,7 @@
 package cmpleak
 
 import (
+	"context"
 	"io"
 
 	"cmpleak/internal/config"
@@ -145,11 +146,30 @@ type SweepJobEvent = experiment.JobEvent
 // NamedSweepOptions labels one sweep of a RunSweepBatch batch.
 type NamedSweepOptions = experiment.NamedOptions
 
+// SweepKey identifies one job of a sweep: (benchmark, size, technique).
+type SweepKey = experiment.Key
+
+// SweepRetryPolicy configures per-job retries of transient failures in the
+// worker pool (seeded deterministic backoff; the zero value disables
+// retries).
+type SweepRetryPolicy = experiment.RetryPolicy
+
+// SweepJobPanicError reports a job panic that was contained to its job: the
+// pool drains cleanly and returns this instead of crashing the process.
+type SweepJobPanicError = experiment.JobPanicError
+
 // RunSweepParallel executes one sweep through the in-process worker pool;
 // the result is byte-identical (digest, figures, report) to RunSweep at any
 // worker count.
 func RunSweepParallel(opts SweepOptions, p SweepParallelism) (*Sweep, error) {
 	return experiment.RunParallel(opts, p)
+}
+
+// RunSweepParallelContext is RunSweepParallel with cancellation: when ctx
+// is canceled, in-flight jobs finish, queued jobs are skipped, and the pool
+// returns a cancellation error naming how far it got.
+func RunSweepParallelContext(ctx context.Context, opts SweepOptions, p SweepParallelism) (*Sweep, error) {
+	return experiment.RunParallelContext(ctx, opts, p)
 }
 
 // RunSweepBatch executes several sweeps' jobs through one shared pool and
@@ -163,6 +183,49 @@ func RunSweepBatch(cells []NamedSweepOptions, p SweepParallelism) ([]*Sweep, err
 // byte-identical to running the cell serially.
 func RunScenarioCells(cells []ScenarioCell, p SweepParallelism) ([]*Sweep, error) {
 	return scenario.RunCells(cells, p)
+}
+
+// RunScenarioCellsContext is RunScenarioCells with cancellation via ctx.
+func RunScenarioCellsContext(ctx context.Context, cells []ScenarioCell, p SweepParallelism) ([]*Sweep, error) {
+	return scenario.RunCellsContext(ctx, cells, p)
+}
+
+// ScenarioNamedOptions converts expanded cells to the pool's batch input
+// (used to build resume sets against exactly the sweeps that will run).
+func ScenarioNamedOptions(cells []ScenarioCell) []NamedSweepOptions {
+	return scenario.NamedOptions(cells)
+}
+
+// SweepJournal is an open crash-safe cell journal: an append-only,
+// CRC-framed record file written as each job completes, so an interrupted
+// sweep resumes from its last completed job instead of restarting.
+type SweepJournal = experiment.Journal
+
+// SweepJournalRecord is one completed job in a journal: the sweep it
+// belongs to (cell name + options digest), the job key and the full result.
+type SweepJournalRecord = experiment.JournalRecord
+
+// SweepResumeSet indexes journal records for reuse by the pool; build it
+// with BuildSweepResumeSet and pass Lookup as SweepParallelism.Reuse.
+type SweepResumeSet = experiment.ResumeSet
+
+// OpenSweepJournal opens (creating if needed) the journal at path for
+// appending and returns the records already in it; a torn or corrupt tail
+// is truncated away first.
+func OpenSweepJournal(path string) (*SweepJournal, []SweepJournalRecord, error) {
+	return experiment.OpenJournal(path)
+}
+
+// LoadSweepJournal reads the records of the journal at path without opening
+// it for writing.
+func LoadSweepJournal(path string) ([]SweepJournalRecord, error) {
+	return experiment.LoadJournal(path)
+}
+
+// BuildSweepResumeSet filters journal records against the sweeps about to
+// run: only records whose cell name and options digest match are reused.
+func BuildSweepResumeSet(cells []NamedSweepOptions, recs []SweepJournalRecord) *SweepResumeSet {
+	return experiment.BuildResumeSet(cells, recs)
 }
 
 // SweepShard is the JSON-serialisable snapshot of one sweep invocation

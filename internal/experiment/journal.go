@@ -1,0 +1,312 @@
+package experiment
+
+// The crash-safe cell journal: an append-only, CRC-framed, length-prefixed
+// record file written as each job of a sweep completes, keyed by the
+// options digest of the sweep (cell) the job belongs to.  `leaksweep
+// -journal` appends to it from the pool's progress callback; `-resume`
+// reloads it and feeds the records back through Parallelism.Reuse, so an
+// interrupted run re-executes only the jobs that never completed and the
+// merged report is byte-identical to an uninterrupted one.  This is the
+// first brick of the ROADMAP's content-addressed result cache: the key is
+// (options digest, job key), exactly what a persistent result store will
+// index on.
+//
+// # File layout
+//
+//	magic   "CMPLJNL1"                       8 bytes
+//	records repeated until end of file:
+//	    payloadLen uint32 little-endian      JSON payload byte length
+//	    crc32      uint32 little-endian      IEEE CRC of the payload
+//	    payload    payloadLen bytes          JSON JournalRecord
+//
+// Appends are a single write each (so a killed process loses at most the
+// record being written), with fsync batched every journalSyncEvery records
+// plus an explicit Sync at shutdown.  Reload walks the frames and stops at
+// the first torn or corrupt one — short header, absurd length, CRC
+// mismatch, undecodable payload — truncating the file back to the last
+// valid record: a crash mid-append costs at most the trailing record,
+// never the file.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/core"
+	"cmpleak/internal/decay"
+)
+
+// journalMagic opens every journal file; the trailing digit is the format
+// version, bumped on incompatible layout changes.
+const journalMagic = "CMPLJNL1"
+
+// maxJournalPayload bounds one record's payload, so a corrupt length frame
+// cannot make reload stage an absurd buffer.
+const maxJournalPayload = 1 << 24
+
+// journalSyncEvery batches fsync: every Nth append syncs, so a host crash
+// loses at most the last N-1 records (a plain SIGKILL loses none — the
+// write itself is unbuffered).  Resume simply re-runs whatever is missing.
+const journalSyncEvery = 8
+
+// ErrJournal reports a journal file that cannot be used at all (bad magic,
+// too short to hold one); torn or corrupt tails are not errors — they are
+// truncated away.
+var ErrJournal = errors.New("experiment: invalid journal file")
+
+// JournalRecord is one completed job: which sweep it belongs to (cell name
+// plus the sweep's options digest), which job, and the full result.
+type JournalRecord struct {
+	// Cell is the sweep label ("" for unnamed flag-driven sweeps).
+	Cell string `json:"cell,omitempty"`
+	// OptionsDigest identifies the exact Options the job ran under (see
+	// Options.Digest); resume ignores records whose digest does not match
+	// the cell being resumed, so a journal can never smuggle results across
+	// configuration changes.
+	OptionsDigest string `json:"options_digest"`
+	// Key identifies the job within the sweep.
+	Key Key `json:"key"`
+	// Result is the job's full result.
+	Result core.Result `json:"result"`
+}
+
+// Digest returns a hex SHA-256 identifying everything that determines this
+// Options' results: the full base system, the axes, scale, seed and shard
+// slice.  Two Options digest equal iff a job key means the same simulation
+// under both — the property journal resume (and the future content-
+// addressed result cache) key on.
+func (o Options) Digest() string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// JSON field order is struct declaration order, so the encoding — and
+	// therefore the digest — is deterministic.
+	err := enc.Encode(struct {
+		Base         config.System
+		Benchmarks   []string
+		CacheSizesMB []int
+		Techniques   []decay.Spec
+		Scale        float64
+		Seed         uint64
+		ShardIndex   int
+		ShardCount   int
+	}{o.Base, o.Benchmarks, o.CacheSizesMB, o.Techniques, o.Scale, o.Seed, o.ShardIndex, o.ShardCount})
+	if err != nil {
+		// config.System is a plain data struct; encoding it cannot fail
+		// short of a programming error, which should not be silent.
+		panic(fmt.Sprintf("experiment: options digest encoding failed: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Journal is an open journal file in append mode.  Append is safe for
+// concurrent use (the pool serialises progress callbacks anyway; the mutex
+// keeps direct users honest).
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	pending int
+}
+
+// appendJournalRecord encodes one framed record.
+func appendJournalRecord(dst []byte, rec JournalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return dst, fmt.Errorf("experiment: encoding journal record: %w", err)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, frame[:]...)
+	return append(dst, payload...), nil
+}
+
+// decodeJournal walks the framed records of a journal image.  It returns
+// the decoded records and the byte length of the valid prefix (magic plus
+// every whole valid record); a torn or corrupt tail simply ends the walk.
+// Only a missing or wrong magic is an error — that is not a journal.
+func decodeJournal(data []byte) ([]JournalRecord, int, error) {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return nil, 0, fmt.Errorf("%w: missing %q magic", ErrJournal, journalMagic)
+	}
+	pos := len(journalMagic)
+	var recs []JournalRecord
+	for {
+		if len(data)-pos < 8 {
+			break // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(data[pos : pos+4])
+		sum := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		if n > maxJournalPayload || int(n) > len(data)-pos-8 {
+			break // absurd or truncated payload
+		}
+		payload := data[pos+8 : pos+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt payload
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // CRC-valid but undecodable: treat as the start of garbage
+		}
+		recs = append(recs, rec)
+		pos += 8 + int(n)
+	}
+	return recs, pos, nil
+}
+
+// OpenJournal opens (creating if needed) the journal at path for appending
+// and returns the records already in it.  A torn or corrupt tail is
+// truncated away before appending resumes, so the file is always a clean
+// sequence of whole records; a file that is not a journal at all returns
+// ErrJournal untouched.
+func OpenJournal(path string) (*Journal, []JournalRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		// Fresh journal: magic first, synced before any record can land.
+		if _, err := f.WriteString(journalMagic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &Journal{f: f}, nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	recs, valid, err := decodeJournal(data)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("%s: truncating torn tail: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f}, recs, nil
+}
+
+// LoadJournal reads the records of the journal at path without opening it
+// for writing (and without truncating a torn tail).
+func LoadJournal(path string) ([]JournalRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := decodeJournal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Append frames and writes one record.  The write is a single syscall, so
+// a kill mid-sweep loses at most the record in flight; fsync is batched
+// (every journalSyncEvery appends) and forced by Sync/Close.
+func (j *Journal) Append(rec JournalRecord) error {
+	buf, err := appendJournalRecord(nil, rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("experiment: journal append: %w", err)
+	}
+	j.pending++
+	if j.pending >= journalSyncEvery {
+		j.pending = 0
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("experiment: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes pending appends to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pending = 0
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	if err := j.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ResumeSet indexes journal records for Parallelism.Reuse: records are
+// admitted only when their (cell, options digest) matches one of the named
+// sweeps about to run, so stale journals (edited flags, different seed)
+// can never leak results into the wrong sweep.
+type ResumeSet struct {
+	byCell  map[string]map[Key]core.Result
+	matched int
+	ignored int
+}
+
+// BuildResumeSet filters recs against the sweeps in cells.
+func BuildResumeSet(cells []NamedOptions, recs []JournalRecord) *ResumeSet {
+	digests := make(map[string]string, len(cells))
+	for i := range cells {
+		digests[cells[i].Name] = cells[i].Options.Digest()
+	}
+	rs := &ResumeSet{byCell: make(map[string]map[Key]core.Result)}
+	for _, rec := range recs {
+		want, ok := digests[rec.Cell]
+		if !ok || want != rec.OptionsDigest {
+			rs.ignored++
+			continue
+		}
+		m := rs.byCell[rec.Cell]
+		if m == nil {
+			m = make(map[Key]core.Result)
+			rs.byCell[rec.Cell] = m
+		}
+		if _, dup := m[rec.Key]; !dup {
+			rs.matched++
+		}
+		m[rec.Key] = rec.Result // last write wins on duplicates
+	}
+	return rs
+}
+
+// Lookup implements the Parallelism.Reuse signature.
+func (rs *ResumeSet) Lookup(cell string, key Key) (core.Result, bool) {
+	r, ok := rs.byCell[cell][key]
+	return r, ok
+}
+
+// Matched returns how many distinct journaled jobs will be reused; Ignored
+// how many records belonged to other sweeps (different digest or cell).
+func (rs *ResumeSet) Matched() int { return rs.matched }
+func (rs *ResumeSet) Ignored() int { return rs.ignored }

@@ -1,0 +1,329 @@
+package experiment
+
+// Journal tests: framing round-trips, torn/corrupt tails truncate to the
+// last valid record, resume through Parallelism.Reuse reproduces an
+// uninterrupted sweep bit for bit while running only the missing jobs, and
+// FuzzJournal proves reload never panics on hostile bytes.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/core"
+	"cmpleak/internal/sim"
+)
+
+func testRecord(i int) JournalRecord {
+	return JournalRecord{
+		Cell:          "cell",
+		OptionsDigest: "digest",
+		Key:           Key{Benchmark: "FMM", SizeMB: 1 << uint(i%4), Technique: "baseline"},
+		Result:        core.Result{Label: "r", Cycles: sim.Cycle(1000 + i), IPC: 1.5},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jnl")
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal holds %d records", len(recs))
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("reloaded %d records, want %d", len(got), n)
+	}
+	for i, rec := range got {
+		want := testRecord(i)
+		if rec.Key != want.Key || rec.Result.Cycles != want.Result.Cycles || rec.Cell != want.Cell {
+			t.Fatalf("record %d round-tripped as %+v, want %+v", i, rec, want)
+		}
+	}
+
+	// Re-opening for append continues after the existing records.
+	j2, recs2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != n {
+		t.Fatalf("re-open saw %d records, want %d", len(recs2), n)
+	}
+	if err := j2.Append(testRecord(n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := LoadJournal(path); len(got) != n+1 {
+		t.Fatalf("after re-open append: %d records, want %d", len(got), n+1)
+	}
+}
+
+// TestJournalTornTailTruncates cuts a valid journal at every byte offset:
+// reload must always yield a prefix of the records, never an error or a
+// panic, and OpenJournal must truncate the file back to that prefix.
+func TestJournalTornTailTruncates(t *testing.T) {
+	img := []byte(journalMagic)
+	const n = 5
+	var err error
+	for i := 0; i < n; i++ {
+		img, err = appendJournalRecord(img, testRecord(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	for cut := len(journalMagic); cut <= len(img); cut++ {
+		path := filepath.Join(dir, "torn.jnl")
+		if err := os.WriteFile(path, img[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, recs, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		j.Close()
+		for i, rec := range recs {
+			if rec.Key != testRecord(i).Key {
+				t.Fatalf("cut at %d: record %d is not the expected prefix", cut, i)
+			}
+		}
+		// The file must now be exactly the valid prefix, and appending must
+		// produce a loadable journal again.
+		data, _ := os.ReadFile(path)
+		if recs2, valid, err := decodeJournal(data); err != nil || valid != len(data) || len(recs2) != len(recs) {
+			t.Fatalf("cut at %d: truncation left %d bytes with %d records valid to %d (%v)",
+				cut, len(data), len(recs2), valid, err)
+		}
+	}
+}
+
+// TestJournalCorruptTailTruncates flips one byte in the last record: reload
+// keeps every earlier record and drops the corrupt one.
+func TestJournalCorruptTailTruncates(t *testing.T) {
+	img := []byte(journalMagic)
+	var err error
+	var offsets []int
+	for i := 0; i < 3; i++ {
+		img, err = appendJournalRecord(img, testRecord(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, len(img))
+	}
+	// Flip a byte inside the last record's payload.
+	img[offsets[1]+12] ^= 0x40
+	path := filepath.Join(t.TempDir(), "corrupt.jnl")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if len(recs) != 2 {
+		t.Fatalf("reloaded %d records past a corrupt tail, want 2", len(recs))
+	}
+}
+
+func TestJournalRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("some other file format entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("OpenJournal accepted a non-journal file")
+	}
+	// And crucially, it must not have truncated or overwritten it.
+	data, _ := os.ReadFile(path)
+	if string(data) != "some other file format entirely" {
+		t.Fatal("OpenJournal modified a file it rejected")
+	}
+}
+
+func TestOptionsDigest(t *testing.T) {
+	a := parallelOptions()
+	if a.Digest() != a.Digest() {
+		t.Fatal("digest is not deterministic")
+	}
+	seen := map[string]string{a.Digest(): "base"}
+	mutate := map[string]func(*Options){
+		"scale":     func(o *Options) { o.Scale *= 2 },
+		"seed":      func(o *Options) { o.Seed++ },
+		"benchmark": func(o *Options) { o.Benchmarks = []string{"FMM"} },
+		"sizes":     func(o *Options) { o.CacheSizesMB = []int{2} },
+		"technique": func(o *Options) { o.Techniques = o.Techniques[:1] },
+		"shard":     func(o *Options) { o.ShardCount = 2; o.ShardIndex = 1 },
+		"base":      func(o *Options) { o.Base.L2MSHREntries++ },
+	}
+	for name, f := range mutate {
+		o := parallelOptions()
+		f(&o)
+		d := o.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("mutating %q digests identically to %q", name, prev)
+		}
+		seen[d] = name
+	}
+}
+
+// TestResumeSkipsJournaledJobs interrupts a sweep by journaling only a
+// prefix of its jobs, then resumes through BuildResumeSet: the resumed
+// sweep must run exactly the missing jobs and digest identically to an
+// uninterrupted run.
+func TestResumeSkipsJournaledJobs(t *testing.T) {
+	opts := parallelOptions()
+	full, err := RunParallel(opts, Parallelism{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := full.Digest()
+	wantReport := full.Report()
+
+	// "Crash" after journaling the first half of the jobs.
+	path := filepath.Join(t.TempDir(), "resume.jnl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := opts.Digest()
+	jobs := opts.Jobs()
+	half := len(jobs) / 2
+	for _, k := range jobs[:half] {
+		res, ok := full.Result(k.Benchmark, k.SizeMB, k.Technique)
+		if !ok {
+			t.Fatalf("full sweep is missing %s", k)
+		}
+		if err := j.Append(JournalRecord{OptionsDigest: digest, Key: k, Result: res}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := []NamedOptions{{Options: opts}}
+	rs := BuildResumeSet(named, recs)
+	if rs.Matched() != half || rs.Ignored() != 0 {
+		t.Fatalf("resume set matched %d / ignored %d, want %d / 0", rs.Matched(), rs.Ignored(), half)
+	}
+
+	ran := 0
+	resumed, err := RunParallelAll(named, Parallelism{
+		Workers:  2,
+		Reuse:    rs.Lookup,
+		Progress: func(ev JobEvent) { ran = ev.Total },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(jobs) - half; ran != want {
+		t.Fatalf("resumed run executed %d jobs, want only the %d missing ones", ran, want)
+	}
+	if got := resumed[0].Digest(); got != wantDigest {
+		t.Fatalf("resumed digest diverged:\n  got:  %s\n  want: %s", got, wantDigest)
+	}
+	if got := resumed[0].Report(); got != wantReport {
+		t.Fatal("resumed rendered report diverged from the uninterrupted run")
+	}
+}
+
+// TestResumeIgnoresForeignRecords proves a journal written under different
+// options (digest mismatch) contributes nothing.
+func TestResumeIgnoresForeignRecords(t *testing.T) {
+	opts := parallelOptions()
+	other := parallelOptions()
+	other.Seed++
+	k := opts.Jobs()[0]
+	recs := []JournalRecord{
+		{OptionsDigest: other.Digest(), Key: k, Result: core.Result{Label: "stale"}},
+		{Cell: "elsewhere", OptionsDigest: opts.Digest(), Key: k, Result: core.Result{Label: "wrong cell"}},
+	}
+	rs := BuildResumeSet([]NamedOptions{{Options: opts}}, recs)
+	if rs.Matched() != 0 || rs.Ignored() != 2 {
+		t.Fatalf("matched %d / ignored %d, want 0 / 2", rs.Matched(), rs.Ignored())
+	}
+	if _, ok := rs.Lookup("", k); ok {
+		t.Fatal("foreign record leaked into the resume set")
+	}
+}
+
+// FuzzJournal hammers reload with hostile bytes: decodeJournal must never
+// panic, must accept only well-framed prefixes, and re-decoding the valid
+// prefix it reports must reproduce exactly the same records.
+func FuzzJournal(f *testing.F) {
+	img := []byte(journalMagic)
+	var err error
+	for i := 0; i < 3; i++ {
+		img, err = appendJournalRecord(img, testRecord(i))
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	f.Add([]byte(journalMagic))
+	f.Add([]byte("CMPLJNL9 wrong version"))
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/3] ^= 0xA5
+	f.Add(flipped)
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := decodeJournal(data)
+		if err != nil {
+			if len(recs) != 0 {
+				t.Fatal("error return carried records")
+			}
+			return
+		}
+		if valid < len(journalMagic) || valid > len(data) {
+			t.Fatalf("valid prefix %d outside [%d,%d]", valid, len(journalMagic), len(data))
+		}
+		recs2, valid2, err2 := decodeJournal(data[:valid])
+		if err2 != nil {
+			t.Fatalf("valid prefix failed to re-decode: %v", err2)
+		}
+		if valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("prefix re-decode: %d records to %d, want %d to %d", len(recs2), valid2, len(recs), valid)
+		}
+	})
+}
+
+// TestJournalAfterCrashSurvivesConfigBaseChange pins the digest's role: a
+// resumed sweep whose base system changed reuses nothing.
+func TestJournalAfterCrashSurvivesConfigBaseChange(t *testing.T) {
+	opts := parallelOptions()
+	k := opts.Jobs()[0]
+	rec := JournalRecord{OptionsDigest: opts.Digest(), Key: k, Result: core.Result{Label: "ok"}}
+
+	changed := opts
+	changed.Base = config.Default().WithCores(2)
+	rs := BuildResumeSet([]NamedOptions{{Options: changed}}, []JournalRecord{rec})
+	if rs.Matched() != 0 {
+		t.Fatal("record reused across a base-config change")
+	}
+}

@@ -14,6 +14,16 @@ package experiment
 // rendered report — is byte-identical whatever the worker count or
 // completion order; the golden anchors pin that.
 //
+// Fault tolerance (PR 8) lives at the job boundary.  A panicking job is
+// recovered inside its worker and becomes a JobPanicError — the pool drains
+// cleanly and reports it like any other failure instead of crashing the
+// process.  Errors classified transient (host I/O, injected faults) retry
+// under Parallelism.Retry with seeded-deterministic backoff before counting
+// as failures.  RunParallelAllContext threads a context.Context through the
+// feed, the workers and the retry backoffs, so callers (leaksweep's signal
+// handler) can cancel: in-flight jobs finish, queued ones are skipped, and
+// the pool returns a cancellation error naming how far it got.
+//
 // Error handling preserves the cancel-on-first-failure contract of the
 // original serial pool (PR 1): the first failure stops the feed, workers
 // drain the queue without simulating, and the returned error is the failure
@@ -22,6 +32,7 @@ package experiment
 // same error at any worker count.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,8 +51,16 @@ type Parallelism struct {
 	// failure — from the pool's collector, serialised (never concurrently)
 	// and in completion order.  It must not call back into the experiment
 	// layer.  Jobs skipped after a failure cancels the sweep produce no
-	// event.
+	// event, and neither do jobs satisfied by Reuse.
 	Progress func(JobEvent)
+	// Retry replays jobs whose errors are classified transient; the zero
+	// value fails every job on its first error.
+	Retry RetryPolicy
+	// Reuse, when non-nil, is consulted once per job before it is queued: a
+	// hit places the recorded result straight into the job's slot and the
+	// job never runs — the journal/resume layer skips already-completed
+	// cells this way.  Reused jobs are excluded from Done/Total.
+	Reuse func(cell string, key Key) (core.Result, bool)
 }
 
 // JobEvent is one progress notification: a job finished (or failed).
@@ -56,11 +75,17 @@ type JobEvent struct {
 	Index int
 	// Err is the job's failure, nil on success.
 	Err error
+	// Result is the job's result on success (zero on failure); the journal
+	// layer persists it from this event.
+	Result core.Result
 	// Done counts jobs completed across the whole batch, this one included;
 	// Total is the batch's job count, so Done == Total marks the last event.
+	// Jobs satisfied by Reuse are not counted.
 	Done  int
 	Total int
-	// Elapsed is the wall time of this job's simulation.
+	// Attempts is how many times the job ran (1 = no retries).
+	Attempts int
+	// Elapsed is the wall time of this job's simulation, retries included.
 	Elapsed time.Duration
 }
 
@@ -74,7 +99,14 @@ type NamedOptions struct {
 // RunParallel executes one sweep through the worker pool and returns the
 // same Sweep a serial Run produces, byte for byte.
 func RunParallel(opts Options, p Parallelism) (*Sweep, error) {
-	sweeps, err := RunParallelAll([]NamedOptions{{Options: opts}}, p)
+	return RunParallelContext(context.Background(), opts, p)
+}
+
+// RunParallelContext is RunParallel with cancellation: when ctx is
+// canceled, in-flight jobs finish, queued jobs are skipped, and the pool
+// returns a cancellation error.
+func RunParallelContext(ctx context.Context, opts Options, p Parallelism) (*Sweep, error) {
+	sweeps, err := RunParallelAllContext(ctx, []NamedOptions{{Options: opts}}, p)
 	if err != nil {
 		return nil, err
 	}
@@ -88,6 +120,11 @@ func RunParallel(opts Options, p Parallelism) (*Sweep, error) {
 // multi-cell scenarios out through exactly this path.  The first failing
 // job cancels the whole batch.
 func RunParallelAll(cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
+	return RunParallelAllContext(context.Background(), cells, p)
+}
+
+// RunParallelAllContext is RunParallelAll with cancellation via ctx.
+func RunParallelAllContext(ctx context.Context, cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
 	for i := range cells {
 		if err := cells[i].Options.Validate(); err != nil {
 			if cells[i].Name != "" {
@@ -99,17 +136,26 @@ func RunParallelAll(cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
 
 	// Flatten every sweep's feed-order job list into one queue; results go
 	// back into per-sweep, per-index slots, so assembly below never depends
-	// on completion order.
+	// on completion order.  Jobs the Reuse hook satisfies fill their slot
+	// here and never enter the queue.
 	type flatJob struct {
 		sweep, index int
 		job          job
 	}
 	var flat []flatJob
 	perSweep := make([][]job, len(cells))
+	results := make([][]core.Result, len(cells))
 	for si := range cells {
 		js := cells[si].Options.jobs()
 		perSweep[si] = js
+		results[si] = make([]core.Result, len(js))
 		for ji, j := range js {
+			if p.Reuse != nil {
+				if res, ok := p.Reuse(cells[si].Name, j.key); ok {
+					results[si][ji] = res
+					continue
+				}
+			}
 			flat = append(flat, flatJob{sweep: si, index: ji, job: j})
 		}
 	}
@@ -122,10 +168,6 @@ func RunParallelAll(cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
 		workers = len(flat)
 	}
 
-	results := make([][]core.Result, len(cells))
-	for si := range cells {
-		results[si] = make([]core.Result, len(perSweep[si]))
-	}
 	jobErrs := make([]error, len(flat))
 
 	var (
@@ -144,9 +186,10 @@ func RunParallelAll(cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
 				mu.Lock()
 				stop := failed
 				mu.Unlock()
-				if stop {
+				if stop || ctx.Err() != nil {
 					// Drain without simulating: the job may already have
-					// been fed when the failure closed the cancel channel.
+					// been fed when the failure closed the cancel channel
+					// (or the caller's context was canceled).
 					continue
 				}
 				fj := flat[fi]
@@ -158,7 +201,8 @@ func RunParallelAll(cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
 				cfg.WorkloadScale = opts.Scale
 				cfg.Seed = opts.Seed
 				start := time.Now()
-				res, err := runJob(cfg)
+				res, attempts, err := runAttempts(ctx.Done(), cancel,
+					cells[fj.sweep].Name, fj.job.key, fi, cfg, p.Retry)
 				elapsed := time.Since(start)
 
 				mu.Lock()
@@ -173,16 +217,21 @@ func RunParallelAll(cells []NamedOptions, p Parallelism) ([]*Sweep, error) {
 				}
 				done++
 				if p.Progress != nil {
-					p.Progress(JobEvent{
-						Cell:    cells[fj.sweep].Name,
-						Sweep:   fj.sweep,
-						Key:     fj.job.key,
-						Index:   fj.index,
-						Err:     jobErrs[fi],
-						Done:    done,
-						Total:   len(flat),
-						Elapsed: elapsed,
-					})
+					ev := JobEvent{
+						Cell:     cells[fj.sweep].Name,
+						Sweep:    fj.sweep,
+						Key:      fj.job.key,
+						Index:    fj.index,
+						Err:      jobErrs[fi],
+						Done:     done,
+						Total:    len(flat),
+						Attempts: attempts,
+						Elapsed:  elapsed,
+					}
+					if err == nil {
+						ev.Result = res
+					}
+					p.Progress(ev)
 				}
 				mu.Unlock()
 			}
@@ -194,12 +243,20 @@ feed:
 		case jobCh <- fi:
 		case <-cancel:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(jobCh)
 	wg.Wait()
 
-	// Feed-order-first error: deterministic at any worker count.
+	// Feed-order-first error: deterministic at any worker count.  A caller
+	// cancellation takes precedence — an interrupted sweep reports the
+	// interruption (with how far it got), not whichever transient error a
+	// retry loop was holding when the context fired.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: sweep canceled after %d of %d jobs: %w", done, len(flat), err)
+	}
 	for _, err := range jobErrs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,177 @@
+package experiment
+
+// Structured job failures and the per-job retry policy of the parallel
+// runtime.  A worker never lets a fault escape its job: panics become
+// JobPanicError values that flow through the pool's deterministic
+// feed-order-first error reporting, and errors classified transient (host
+// I/O, injected test faults) are retried with seeded-deterministic
+// exponential backoff before they count as failures.  Permanent errors —
+// config validation, corrupt inputs, panics — fail fast: retrying a
+// deterministic failure only burns CPU.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"time"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/core"
+	"cmpleak/internal/faultinject"
+)
+
+// FaultPointJob is the fault-injection point at the worker job boundary:
+// a KindError spec makes the job fail (transient or permanent per the
+// spec), a KindPanic spec exercises the pool's panic containment.
+const FaultPointJob = "experiment/job"
+
+// JobPanicError reports a panic recovered at a worker's job boundary.  The
+// panic is contained to its job: the pool drains cleanly and returns this
+// error (for the earliest panicking job in feed order) instead of crashing
+// the process.
+type JobPanicError struct {
+	// Cell is the sweep label the job belonged to ("" for unnamed sweeps).
+	Cell string
+	// Key identifies the panicking job.
+	Key Key
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic with its stack, so a crashing technique or model
+// bug surfaces as one structured report.
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("job %s panicked: %v\n%s", e.Key, e.Value, e.Stack)
+}
+
+// RetryPolicy retries jobs whose errors are classified transient.  The zero
+// value disables retries (every error is final on the first attempt).
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per job, first try included;
+	// values <= 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms); it
+	// doubles per attempt up to MaxDelay (default 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the deterministic jitter: the delay of (job, attempt) is
+	// a pure function of (Seed, job feed index, attempt), so two runs of
+	// the same failing sweep back off identically.
+	Seed uint64
+	// Classify reports whether an error is transient (worth retrying).
+	// Nil means DefaultTransient.
+	Classify func(error) bool
+}
+
+// DefaultTransient is the default retry classification: an error is
+// transient iff something in its wrap chain implements Transient() bool and
+// reports true — the trace layer marks host-I/O failures that way, corrupt
+// files and validation errors carry no marker, and panics are never
+// transient.
+func DefaultTransient(err error) bool {
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// transient applies the policy's classifier.
+func (p RetryPolicy) transient(err error) bool {
+	if p.Classify != nil {
+		return p.Classify(err)
+	}
+	return DefaultTransient(err)
+}
+
+// maxAttempts normalises MaxAttempts.
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the delay before retry number attempt (0-based) of the
+// job at feed index jobIndex: exponential from BaseDelay, capped at
+// MaxDelay, with seeded jitter in [d/2, d) so colliding retries of
+// different jobs spread out deterministically.
+func (p RetryPolicy) backoff(jobIndex, attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	limit := p.MaxDelay
+	if limit <= 0 {
+		limit = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	u := splitmix64(p.Seed ^ uint64(jobIndex)<<32 ^ uint64(attempt))
+	frac := float64(u>>11) / float64(1<<53)
+	return d/2 + time.Duration(float64(d/2)*frac)
+}
+
+// splitmix64 is the SplitMix64 mixer (jitter only; no math/rand, no clock).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// runJobGuarded executes one simulation attempt with the worker's safety
+// net: the fault-injection hook fires first (so tests can fail or crash
+// exactly this boundary), and any panic — injected or real — is converted
+// into a JobPanicError instead of unwinding the pool.
+func runJobGuarded(cell string, key Key, cfg config.System) (res core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &JobPanicError{Cell: cell, Key: key, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Enabled() {
+		if ferr := faultinject.Hit(FaultPointJob); ferr != nil {
+			return core.Result{}, ferr
+		}
+	}
+	return runJob(cfg)
+}
+
+// runAttempts drives one job through the retry policy: transient failures
+// back off and retry up to MaxAttempts, permanent ones (and panics) return
+// immediately.  A cancellation — the caller's ctx or the pool's first-
+// failure cancel channel — aborts the backoff and returns the last error.
+// It reports the result, the number of attempts made, and the final error.
+func runAttempts(done <-chan struct{}, cancel <-chan struct{}, cell string, key Key,
+	jobIndex int, cfg config.System, rp RetryPolicy) (core.Result, int, error) {
+	attempts := 0
+	for {
+		res, err := runJobGuarded(cell, key, cfg)
+		attempts++
+		if err == nil {
+			return res, attempts, nil
+		}
+		if attempts >= rp.maxAttempts() || !rp.transient(err) {
+			return core.Result{}, attempts, err
+		}
+		t := time.NewTimer(rp.backoff(jobIndex, attempts-1))
+		select {
+		case <-t.C:
+		case <-done:
+			t.Stop()
+			return core.Result{}, attempts, err
+		case <-cancel:
+			t.Stop()
+			return core.Result{}, attempts, err
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("Enabled() true with no plan armed")
+	}
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+}
+
+func TestErrorSchedule(t *testing.T) {
+	defer Disarm()
+	if err := Arm(Plan{Specs: []Spec{{Point: "p", Kind: KindError, After: 2, Every: 2, Times: 2, Msg: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() false after Arm")
+	}
+	// Hits 1,2 skipped (After=2); hits 3,5 trigger (Every=2, Times=2);
+	// everything later is exhausted.
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		if err := Hit("p"); err != nil {
+			fired = append(fired, i)
+			var ie *Error
+			if !errors.As(err, &ie) || ie.Point != "p" || ie.Msg != "boom" {
+				t.Fatalf("hit %d: unexpected error %v", i, err)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 5 {
+		t.Fatalf("fired at hits %v, want [3 5]", fired)
+	}
+	if got := Hits("p"); got != 8 {
+		t.Fatalf("Hits = %d, want 8", got)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Disarm()
+	if err := Arm(Plan{Specs: []Spec{{Point: "p", Kind: KindPanic, Msg: "kaboom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("Hit did not panic")
+		}
+		ie, ok := v.(*Error)
+		if !ok || ie.Msg != "kaboom" {
+			t.Fatalf("panic value %v, want *Error{kaboom}", v)
+		}
+	}()
+	Hit("p")
+}
+
+func TestDelayKind(t *testing.T) {
+	defer Disarm()
+	if err := Arm(Plan{Specs: []Spec{{Point: "p", Kind: KindDelay, Delay: 20 * time.Millisecond}}}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("delay spec returned error %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("Hit returned after %s, want >= ~20ms", d)
+	}
+}
+
+func TestTransientFlagAndProbDeterminism(t *testing.T) {
+	defer Disarm()
+	run := func() []int {
+		if err := Arm(Plan{Seed: 42, Specs: []Spec{{Point: "p", Kind: KindError, Prob: 0.5, Transient: true}}}); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 1; i <= 64; i++ {
+			if err := Hit("p"); err != nil {
+				fired = append(fired, i)
+				var tr interface{ Transient() bool }
+				if !errors.As(err, &tr) || !tr.Transient() {
+					t.Fatalf("hit %d: injected error not classified transient", i)
+				}
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("Prob=0.5 fired %d/64 times; schedule looks degenerate", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two runs of the same plan fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trigger schedules diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	defer Disarm()
+	if err := Arm(Plan{Specs: []Spec{{Point: ""}}}); err == nil {
+		t.Fatal("empty point accepted")
+	}
+	if err := Arm(Plan{Specs: []Spec{{Point: "p", Prob: 1.5}}}); err == nil {
+		t.Fatal("Prob > 1 accepted")
+	}
+}
+
+func TestUnarmedPointPassesThrough(t *testing.T) {
+	defer Disarm()
+	if err := Arm(Plan{Specs: []Spec{{Point: "p", Kind: KindError}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unarmed point injected %v", err)
+	}
+}

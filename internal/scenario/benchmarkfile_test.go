@@ -1,0 +1,112 @@
+package scenario
+
+// Expand-time resolution of scheme benchmarks: a matrix naming
+// "trace:<path>" still validates anywhere, but expanding it on the machine
+// that will run it demands the file exist and verify, failing with
+// ErrBenchmarkFile before any simulation starts.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/trace"
+	"cmpleak/internal/workload"
+)
+
+func scenarioFor(benchmark string) File {
+	return File{
+		Version:    Version,
+		Benchmarks: []string{benchmark},
+		L2SizesMB:  []int{1},
+		Techniques: []string{"decay:8K"},
+	}
+}
+
+func writeTempTrace(t *testing.T, corrupt bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "unit"}, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(0, []workload.Entry{{ComputeInstrs: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if corrupt {
+		data[len(data)-1] = 0x03 // invalid op kind in the only payload byte
+	}
+	path := filepath.Join(t.TempDir(), "bench.trc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExpandResolvesTraceBenchmark(t *testing.T) {
+	path := writeTempTrace(t, false)
+	f := scenarioFor("trace:" + path)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate rejected a scheme benchmark: %v", err)
+	}
+	cells, err := f.Expand(config.Default())
+	if err != nil {
+		t.Fatalf("Expand with a real trace file failed: %v", err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("expanded to %d cells, want 1", len(cells))
+	}
+}
+
+func TestExpandRejectsMissingTraceFile(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.trc")
+	f := scenarioFor("trace:" + missing)
+	// The matrix itself still validates — it may be destined for another
+	// machine that does hold the file.
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate rejected a scheme benchmark it cannot check: %v", err)
+	}
+	_, err := f.Expand(config.Default())
+	if !errors.Is(err, ErrBenchmarkFile) {
+		t.Fatalf("Expand returned %v, want wrapped ErrBenchmarkFile", err)
+	}
+	for _, want := range []string{missing, "trace:"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestExpandRejectsCorruptTraceFile(t *testing.T) {
+	path := writeTempTrace(t, true)
+	_, err := scenarioFor("trace:" + path).Expand(config.Default())
+	if !errors.Is(err, ErrBenchmarkFile) {
+		t.Fatalf("Expand returned %v, want wrapped ErrBenchmarkFile", err)
+	}
+	if !errors.Is(err, trace.ErrCorrupt) {
+		// The wrap is %v, not %w, on the inner error by design (the sentinel
+		// is ErrBenchmarkFile); the message must still say why.
+		if !bytes.Contains([]byte(err.Error()), []byte("corrupt")) {
+			t.Fatalf("error %q hides the corruption diagnosis", err)
+		}
+	}
+}
+
+func TestRunCellsFailsBeforeSimulating(t *testing.T) {
+	// A multi-cell scenario with one bad trace must fail at expansion, not
+	// after sweeping the good cells.
+	f := scenarioFor(fmt.Sprintf("trace:%s", filepath.Join(t.TempDir(), "gone.trc")))
+	f.CoreCounts = []int{2, 4}
+	_, err := f.Expand(config.Default())
+	if !errors.Is(err, ErrBenchmarkFile) {
+		t.Fatalf("Expand returned %v, want ErrBenchmarkFile", err)
+	}
+}

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+
 	"cmpleak/internal/experiment"
 )
 
@@ -16,9 +18,23 @@ import (
 // job cancels the whole scenario, and the returned error names the earliest
 // failed job in (cell, feed) order.
 func RunCells(cells []Cell, p experiment.Parallelism) ([]*experiment.Sweep, error) {
+	return RunCellsContext(context.Background(), cells, p)
+}
+
+// RunCellsContext is RunCells with cancellation: when ctx is canceled,
+// in-flight jobs finish, queued jobs are skipped, and the scenario returns
+// the pool's cancellation error.
+func RunCellsContext(ctx context.Context, cells []Cell, p experiment.Parallelism) ([]*experiment.Sweep, error) {
+	named := NamedOptions(cells)
+	return experiment.RunParallelAllContext(ctx, named, p)
+}
+
+// NamedOptions converts expanded cells to the pool's batch input (exposed so
+// callers can build resume sets against exactly what will run).
+func NamedOptions(cells []Cell) []experiment.NamedOptions {
 	named := make([]experiment.NamedOptions, len(cells))
 	for i, c := range cells {
 		named[i] = experiment.NamedOptions{Name: c.Name, Options: c.Options}
 	}
-	return experiment.RunParallelAll(named, p)
+	return named
 }

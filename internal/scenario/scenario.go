@@ -91,6 +91,12 @@ var (
 	ErrScale = errors.New("scenario: invalid scale")
 	// ErrOverride reports an override with bad selectors or parameters.
 	ErrOverride = errors.New("scenario: invalid override")
+	// ErrBenchmarkFile reports a scheme benchmark ("trace:<path>") whose
+	// backing file is missing, unreadable or fails verification.  Validate
+	// deliberately does not check this — a matrix must validate on machines
+	// that do not hold the files — so it surfaces from Expand, before any
+	// simulation runs, rather than mid-sweep.
+	ErrBenchmarkFile = errors.New("scenario: benchmark file unavailable")
 )
 
 // File is one parsed scenario.
@@ -348,6 +354,20 @@ func (f File) Expand(base config.System) ([]Cell, error) {
 	specs := make([]decay.Spec, len(f.Techniques))
 	for i, t := range f.Techniques {
 		specs[i], _ = decay.ParseSpec(t) // validated above
+	}
+
+	// Resolve scheme benchmarks now: Expand runs on the machine that will
+	// simulate, so "trace:<path>" files must exist and verify here — failing
+	// before the first cell starts beats failing N jobs into a sweep.  The
+	// resolution itself is not wasted: trace files resolve through a
+	// process-wide verified-file cache, so the sweep's own lookups hit it.
+	for _, b := range f.Benchmarks {
+		if !strings.Contains(b, ":") {
+			continue
+		}
+		if _, err := workload.ByName(b, 1.0); err != nil {
+			return nil, fmt.Errorf("%w: benchmarks entry %q: %v", ErrBenchmarkFile, b, err)
+		}
 	}
 
 	var cells []Cell

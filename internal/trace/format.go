@@ -100,7 +100,20 @@ var (
 	ErrCorrupt = errors.New("trace: corrupt file")
 	// ErrVersion reports a trace written by an unknown format version.
 	ErrVersion = errors.New("trace: unsupported version")
+	// ErrIO reports a host I/O failure reading a trace file (as opposed to a
+	// malformed file): the file itself may be fine, so errors wrapping ErrIO
+	// classify as transient and the sweep retry policy replays them.
+	ErrIO = errors.New("trace: read failed")
 )
+
+// ioError marks a host I/O failure as transient for the sweep retry policy
+// (experiment.DefaultTransient probes for Transient() bool) while keeping
+// both the ErrIO sentinel and the original error reachable via errors.Is/As.
+type ioError struct{ err error }
+
+func (e *ioError) Error() string   { return e.err.Error() }
+func (e *ioError) Transient() bool { return true }
+func (e *ioError) Unwrap() []error { return []error{ErrIO, e.err} }
 
 // corruptf wraps ErrCorrupt with position context.
 func corruptf(format string, args ...any) error {

@@ -1,0 +1,9 @@
+//go:build race
+
+package trace_test
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation inflates flate's per-block allocations, so byte-exact
+// allocation guards are meaningless under `-race` (they still run in
+// `make test-allocs`, which is race-free).
+const raceEnabled = true

@@ -9,8 +9,18 @@ import (
 	"os"
 	"sync"
 
+	"cmpleak/internal/faultinject"
 	"cmpleak/internal/mem"
 	"cmpleak/internal/workload"
+)
+
+// Fault-injection points of the trace layer (no-ops unless a test arms
+// them): FaultPointOpen fires in Open before the file is read — a transient
+// spec there simulates flaky host I/O for the sweep retry tests — and
+// FaultPointChunk fires in stageChunk, failing replay mid-stream.
+const (
+	FaultPointOpen  = "trace/open"
+	FaultPointChunk = "trace/chunk"
 )
 
 // File is an opened trace: the raw bytes plus a validated chunk index.
@@ -26,7 +36,17 @@ type File struct {
 	hdr      Header
 	chunks   []chunkRef
 	perCore  []uint64 // entry totals per core, from the chunk index
+	path     string   // source file, "" for in-memory traces; error context only
 	verified bool
+}
+
+// chunkErr wraps a chunk-level failure with everything needed to find it:
+// the source path (when the File came from one) and the chunk index.
+func (f *File) chunkErr(i int, err error) error {
+	if f.path != "" {
+		return fmt.Errorf("%s: chunk %d: %w", f.path, i, err)
+	}
+	return fmt.Errorf("chunk %d: %w", i, err)
 }
 
 // chunkRef locates one validated chunk inside the file.
@@ -35,16 +55,24 @@ type chunkRef struct {
 	hdr        chunkHeader
 }
 
-// Open reads and indexes the trace file at path.
+// Open reads and indexes the trace file at path.  A failed read (as opposed
+// to a malformed file) comes back wrapping ErrIO and classified transient,
+// so the sweep retry policy replays it.
 func Open(path string) (*File, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Hit(FaultPointOpen); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, &ioError{err: err}
 	}
 	f, err := New(data)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	f.path = path
 	return f, nil
 }
 
@@ -156,7 +184,7 @@ func (f *File) Verify() error {
 	for i, ref := range f.chunks {
 		payload, err := f.stageChunk(ref, &inf)
 		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i, err)
+			return f.chunkErr(i, err)
 		}
 		pos, prev := 0, mem.Addr(0)
 		remaining := int(ref.hdr.entries)
@@ -167,12 +195,12 @@ func (f *File) Verify() error {
 			}
 			pos, prev, err = decodeEntries(payload, pos, prev, buf[:k])
 			if err != nil {
-				return fmt.Errorf("chunk %d: %w", i, err)
+				return f.chunkErr(i, err)
 			}
 			remaining -= k
 		}
 		if pos != int(ref.hdr.encLen) {
-			return fmt.Errorf("chunk %d: %w", i,
+			return f.chunkErr(i,
 				corruptf("payload encodes %d entries in %d bytes, header declares %d", ref.hdr.entries, pos, ref.hdr.encLen))
 		}
 	}
@@ -186,6 +214,11 @@ func (f *File) Verify() error {
 // inflater's staging buffer, so it stays valid only until the next
 // stageChunk call or the inflater's release.
 func (f *File) stageChunk(ref chunkRef, infp **inflater) ([]byte, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Hit(FaultPointChunk); err != nil {
+			return nil, err
+		}
+	}
 	stored := f.data[ref.payloadOff : ref.payloadOff+int(ref.hdr.storedLen)]
 	if ref.hdr.flags&flagCompressed == 0 {
 		return stored, nil
@@ -230,9 +263,10 @@ func (f *File) Stream(core int) *Reader {
 // NextBatch runs allocation-free and building a Reader costs no
 // decompressor setup.
 type Reader struct {
-	f    *File
-	core int
-	ci   int // index of the next chunk to consider
+	f      *File
+	core   int
+	ci     int // index of the next chunk to consider
+	openCi int // index of the currently staged chunk, for error context
 
 	payload   []byte // staged payload of the open chunk
 	pos       int
@@ -263,7 +297,7 @@ func (r *Reader) nextChunk() bool {
 		}
 		payload, err := r.f.stageChunk(ref, &r.inf)
 		if err != nil {
-			r.err = err
+			r.err = r.f.chunkErr(r.ci, err)
 			r.payload = nil
 			release(&r.inf)
 			return false
@@ -272,6 +306,7 @@ func (r *Reader) nextChunk() bool {
 		r.pos = 0
 		r.remaining = int(ref.hdr.entries)
 		r.prevAddr = 0
+		r.openCi = r.ci
 		r.ci++
 		return true
 	}
@@ -298,7 +333,7 @@ func (r *Reader) NextBatch(buf []workload.Entry) int {
 		}
 		pos, prev, err := decodeEntries(r.payload, r.pos, r.prevAddr, buf[n:n+k])
 		if err != nil {
-			r.err = err
+			r.err = r.f.chunkErr(r.openCi, err)
 			r.payload = nil
 			release(&r.inf)
 			return n
@@ -306,7 +341,7 @@ func (r *Reader) NextBatch(buf []workload.Entry) int {
 		r.pos, r.prevAddr = pos, prev
 		r.remaining -= k
 		if r.remaining == 0 && r.pos != len(r.payload) {
-			r.err = corruptf("chunk payload has %d trailing bytes", len(r.payload)-r.pos)
+			r.err = r.f.chunkErr(r.openCi, corruptf("chunk payload has %d trailing bytes", len(r.payload)-r.pos))
 			r.payload = nil
 			release(&r.inf)
 			return n
@@ -374,7 +409,8 @@ func OpenShared(path string) (*File, error) {
 		return nil, err
 	}
 	if err := f.Verify(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		// Verify's chunk errors already carry the path (set by Open).
+		return nil, err
 	}
 	sharedFiles.m[path] = f
 	return f, nil
