@@ -12,12 +12,12 @@ FUZZTIME ?= 5s
 # Minimum total statement coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 70
 
-.PHONY: ci fmt vet build test test-allocs test-faults race cover fuzz-smoke bench-smoke bench bench-sweep bench-baseline bench-compare
+.PHONY: ci fmt vet build test test-allocs test-faults test-service race cover fuzz-smoke bench-smoke bench bench-sweep bench-baseline bench-compare
 
 # cover runs the full test suite (instrumented) and fails on any test
 # failure, so ci does not also run the plain `test` target — that would
 # execute every test twice for no extra guarantee.
-ci: fmt vet build cover test-allocs test-faults race fuzz-smoke bench-smoke
+ci: fmt vet build cover test-allocs test-faults test-service race fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -54,6 +54,13 @@ test-faults:
 		-run 'Fault|Panic|Retry|Journal|Resume|Context|Backoff|Transient|TraceBenchmark|TraceFile|FailsBeforeSimulating' \
 		./internal/experiment ./internal/trace ./internal/scenario ./cmd/leaksweep
 
+# test-service runs the sweep-service surface under the race detector: the
+# result-cache store, the HTTP daemon end-to-end (submit, stream, report,
+# warm-cache zero-simulation proof, concurrent clients) and the leakserved
+# flag validation.
+test-service:
+	$(GO) test -race -count 1 ./internal/frame ./internal/resultcache ./internal/service ./cmd/leakserved
+
 # race runs the full suite under the race detector.  The timing model is
 # single-goroutine by design, but trace readers, shard merges and the
 # example/figure drivers do fan out; this keeps them honest.
@@ -78,6 +85,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime $(FUZZTIME) ./internal/scenario
 	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime $(FUZZTIME) ./internal/experiment
+	$(GO) test -run '^$$' -fuzz FuzzCacheRecord -fuzztime $(FUZZTIME) ./internal/resultcache
+	$(GO) test -run '^$$' -fuzz FuzzServeScenario -fuzztime $(FUZZTIME) ./internal/service
 
 # bench-smoke proves the benchmark harness still runs end to end: one
 # iteration of the scheduler microbenchmarks and one reduced-scale

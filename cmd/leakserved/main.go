@@ -1,0 +1,125 @@
+// Command leakserved runs the sweep service: an HTTP/JSON daemon that
+// accepts declarative scenario files (the same schema as `leaksweep
+// -scenario`), dedups their jobs against a persistent content-addressed
+// result cache, runs the misses through one shared in-process worker pool,
+// streams per-cell progress, and serves the completed runs' reports —
+// byte-identical to the bytes `leaksweep` would print for the same
+// scenario.
+//
+//	leakserved -addr :8080 -cache-dir /var/lib/leakserved
+//
+//	curl -X POST --data-binary @scenarios/paper.json localhost:8080/v1/runs
+//	curl localhost:8080/v1/runs/r-000001/events     # NDJSON progress stream
+//	curl localhost:8080/v1/runs/r-000001/report     # the leaksweep report
+//
+// The cache is keyed on (options digest, job key) and stamped with the
+// golden behaviour anchor: resubmitting a scenario — same daemon or a fresh
+// one over the same -cache-dir — reuses every cached job without
+// simulating, and a simulator change (which re-records the anchor)
+// invalidates every cached record at once.  SIGINT/SIGTERM shut down
+// gracefully: in-flight jobs finish and are cached, queued runs are marked
+// canceled, and the store is synced.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cmpleak"
+	"cmpleak/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (empty = no cache)")
+		cacheMaxMB = flag.Int("cache-max-mb", 0, "cache size budget in MB; LRU records are evicted beyond it (0 = unbounded)")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation workers in the shared pool")
+		queue      = flag.Int("queue", 8, "maximum queued runs behind the executing one")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*addr, *jobs, *queue, *cacheMaxMB); err != nil {
+		fmt.Fprintf(os.Stderr, "leakserved: %v\n", err)
+		os.Exit(2)
+	}
+
+	var store *cmpleak.ResultCache
+	if *cacheDir != "" {
+		var err error
+		store, err = cmpleak.OpenResultCache(*cacheDir, cmpleak.ResultCacheOptions{
+			MaxBytes: int64(*cacheMaxMB) << 20,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leakserved: opening cache: %v\n", err)
+			os.Exit(1)
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "leakserved: cache %s: %d cached job(s), %d byte(s) live (anchor %.8s)\n",
+			*cacheDir, st.Entries, st.LiveBytes, cmpleak.GoldenAnchor)
+	}
+
+	svc := service.New(service.Config{Workers: *jobs, QueueDepth: *queue, Store: store})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "leakserved: listening on %s (%d worker(s), queue depth %d)\n",
+		*addr, *jobs, *queue)
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe only returns on failure (bind error etc.).
+		fmt.Fprintf(os.Stderr, "leakserved: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the usual way
+
+	fmt.Fprintln(os.Stderr, "leakserved: shutting down (in-flight jobs finish and are cached)")
+	// Stop accepting connections first, then drain the service (cancels the
+	// executing run; its in-flight jobs finish and are written through to
+	// the cache), then make the store durable.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "leakserved: http shutdown: %v\n", err)
+	}
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "leakserved: service shutdown: %v\n", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "leakserved: closing cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// validateFlags rejects unusable flag combinations before anything starts.
+func validateFlags(addr string, jobs, queue, cacheMaxMB int) error {
+	if addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if jobs <= 0 {
+		return fmt.Errorf("-jobs must be >= 1, got %d", jobs)
+	}
+	if queue <= 0 {
+		return fmt.Errorf("-queue must be >= 1, got %d", queue)
+	}
+	if cacheMaxMB < 0 {
+		return fmt.Errorf("-cache-max-mb must be >= 0, got %d", cacheMaxMB)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		addr    string
+		jobs    int
+		queue   int
+		cacheMB int
+		wantErr string // "" = valid
+	}{
+		{name: "defaults", addr: ":8080", jobs: 4, queue: 8},
+		{name: "host and port", addr: "127.0.0.1:0", jobs: 1, queue: 1},
+		{name: "unbounded cache", addr: ":8080", jobs: 2, queue: 2, cacheMB: 0},
+		{name: "bounded cache", addr: ":8080", jobs: 2, queue: 2, cacheMB: 64},
+		{name: "empty addr", addr: "", jobs: 4, queue: 8, wantErr: "-addr"},
+		{name: "zero jobs", addr: ":8080", jobs: 0, queue: 8, wantErr: "-jobs"},
+		{name: "negative jobs", addr: ":8080", jobs: -3, queue: 8, wantErr: "-jobs"},
+		{name: "zero queue", addr: ":8080", jobs: 4, queue: 0, wantErr: "-queue"},
+		{name: "negative cache budget", addr: ":8080", jobs: 4, queue: 8, cacheMB: -1, wantErr: "-cache-max-mb"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.addr, tc.jobs, tc.queue, tc.cacheMB)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%q, %d, %d, %d) = %v, want nil",
+						tc.addr, tc.jobs, tc.queue, tc.cacheMB, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags(%q, %d, %d, %d) = %v, want error naming %s",
+					tc.addr, tc.jobs, tc.queue, tc.cacheMB, err, tc.wantErr)
+			}
+		})
+	}
+}

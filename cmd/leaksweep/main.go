@@ -49,6 +49,13 @@
 // exact -resume invocation is printed — and -resume skips every journaled
 // job, producing output byte-identical to an uninterrupted run.  -retries N
 // replays jobs that fail transiently (host I/O) with deterministic backoff.
+//
+// -cache DIR reuses results across runs: completed jobs are written to a
+// persistent content-addressed store (keyed on the sweep's options digest
+// and the job key, stamped with the golden behaviour anchor), and any job
+// already in the store is served from it without simulating — the printed
+// report stays byte-identical either way.  The same directory backs the
+// leakserved service, so CLI runs and service runs share one cache.
 package main
 
 import (
@@ -83,6 +90,7 @@ func main() {
 		shard      = flag.String("shard", "", "run shard i of n sweep jobs, as \"i/n\" (default: all jobs)")
 		out        = flag.String("out", "", "write the run's results as a shard JSON file (one per cell with -scenario)")
 		merge      = flag.String("merge", "", "merge shard JSON files matching this glob instead of running")
+		cache      = flag.String("cache", "", "reuse and record job results in this persistent content-addressed cache directory")
 		journal    = flag.String("journal", "", "append each completed job to this crash-safe journal file")
 		resume     = flag.Bool("resume", false, "skip jobs already recorded in the -journal file")
 		retries    = flag.Int("retries", 0, "extra attempts per job for transient failures (0 = fail on first error)")
@@ -114,6 +122,9 @@ func main() {
 		if *journal != "" {
 			fatalf("-merge runs nothing; it cannot be combined with -journal")
 		}
+		if *cache != "" {
+			fatalf("-merge runs nothing; it cannot be combined with -cache")
+		}
 		sweep, err := cmpleak.MergeSweepShardGlob(*merge)
 		if err != nil {
 			fatalf("%v", err)
@@ -142,6 +153,13 @@ func main() {
 	rc := runConfig{
 		workers: workers, quiet: *quiet,
 		journal: *journal, resume: *resume, retries: *retries,
+	}
+	if *cache != "" {
+		store, err := cmpleak.OpenResultCache(*cache, cmpleak.ResultCacheOptions{})
+		if err != nil {
+			fatalf("opening cache: %v", err)
+		}
+		rc.store = store
 	}
 
 	if *scenario != "" {
@@ -185,13 +203,19 @@ type runConfig struct {
 	journal string
 	resume  bool
 	retries int
+	// store, when non-nil, is the persistent content-addressed result cache
+	// (-cache): jobs it holds are served without simulating, and every
+	// completed job is written through to it.
+	store *cmpleak.ResultCache
 }
 
 // parallelism builds the pool configuration: workers, live progress, the
-// retry policy (seeded so backoff schedules are reproducible) and — with
-// -journal — the journal appender chained onto the progress callback plus
-// the resume lookup.  It returns the open journal (nil without -journal)
-// and how many jobs resume will skip.
+// retry policy (seeded so backoff schedules are reproducible), with
+// -journal the journal appender chained onto the progress callback plus the
+// resume lookup, and with -cache the persistent store chained after both —
+// resume-set hits win (no store lookup), store hits skip simulation, and
+// every simulated job is written through.  It returns the open journal (nil
+// without -journal) and how many jobs resume will skip.
 func (rc runConfig) parallelism(prefix string, named []cmpleak.NamedSweepOptions, seed uint64) (cmpleak.SweepParallelism, *cmpleak.SweepJournal, int) {
 	p := cmpleak.SweepParallelism{
 		Workers:  rc.workers,
@@ -200,56 +224,95 @@ func (rc runConfig) parallelism(prefix string, named []cmpleak.NamedSweepOptions
 	if rc.retries > 0 {
 		p.Retry = cmpleak.SweepRetryPolicy{MaxAttempts: rc.retries + 1, Seed: seed}
 	}
-	if rc.journal == "" {
-		return p, nil, 0
-	}
-	j, recs, err := cmpleak.OpenSweepJournal(rc.journal)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	skipped := 0
-	if len(recs) > 0 && !rc.resume {
-		fatalf("journal %s already holds %d records; pass -resume to continue that run or remove the file",
-			rc.journal, len(recs))
-	}
-	if rc.resume && len(recs) > 0 {
-		rs := cmpleak.BuildSweepResumeSet(named, recs)
-		if rs.Ignored() > 0 {
-			fmt.Fprintf(os.Stderr, "%s: journal %s: ignoring %d record(s) from other configurations\n",
-				prefix, rc.journal, rs.Ignored())
-		}
-		fmt.Fprintf(os.Stderr, "%s: resuming from %s: skipping %d journaled job(s)\n",
-			prefix, rc.journal, rs.Matched())
-		p.Reuse = rs.Lookup
-		skipped = rs.Matched()
-	}
 	digests := make([]string, len(named))
 	for i := range named {
 		digests[i] = named[i].Options.Digest()
 	}
-	inner := p.Progress
-	p.Progress = func(ev cmpleak.SweepJobEvent) {
-		if ev.Err == nil {
-			if aerr := j.Append(cmpleak.SweepJournalRecord{
-				Cell: ev.Cell, OptionsDigest: digests[ev.Sweep], Key: ev.Key, Result: ev.Result,
-			}); aerr != nil {
-				fmt.Fprintf(os.Stderr, "%s: journal append: %v\n", prefix, aerr)
+	var j *cmpleak.SweepJournal
+	skipped := 0
+	if rc.journal != "" {
+		var recs []cmpleak.SweepJournalRecord
+		var err error
+		j, recs, err = cmpleak.OpenSweepJournal(rc.journal)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(recs) > 0 && !rc.resume {
+			fatalf("journal %s already holds %d records; pass -resume to continue that run or remove the file",
+				rc.journal, len(recs))
+		}
+		if rc.resume && len(recs) > 0 {
+			rs := cmpleak.BuildSweepResumeSet(named, recs)
+			if rs.Ignored() > 0 {
+				fmt.Fprintf(os.Stderr, "%s: journal %s: ignoring %d record(s) from other configurations\n",
+					prefix, rc.journal, rs.Ignored())
+			}
+			fmt.Fprintf(os.Stderr, "%s: resuming from %s: skipping %d journaled job(s)\n",
+				prefix, rc.journal, rs.Matched())
+			p.Reuse = rs.Lookup
+			skipped = rs.Matched()
+		}
+		inner := p.Progress
+		p.Progress = func(ev cmpleak.SweepJobEvent) {
+			if ev.Err == nil {
+				if aerr := j.Append(cmpleak.SweepJournalRecord{
+					Cell: ev.Cell, OptionsDigest: digests[ev.Sweep], Key: ev.Key, Result: ev.Result,
+				}); aerr != nil {
+					fmt.Fprintf(os.Stderr, "%s: journal append: %v\n", prefix, aerr)
+				}
+			}
+			if inner != nil {
+				inner(ev)
 			}
 		}
-		if inner != nil {
-			inner(ev)
+	}
+	if rc.store != nil {
+		byCell := make(map[string]string, len(named))
+		for i := range named {
+			byCell[named[i].Name] = digests[i]
+		}
+		prevReuse := p.Reuse
+		p.Reuse = func(cell string, key cmpleak.SweepKey) (cmpleak.Result, bool) {
+			if prevReuse != nil {
+				if res, ok := prevReuse(cell, key); ok {
+					return res, true
+				}
+			}
+			return rc.store.Get(byCell[cell], key)
+		}
+		inner := p.Progress
+		p.Progress = func(ev cmpleak.SweepJobEvent) {
+			if ev.Err == nil {
+				if perr := rc.store.Put(cmpleak.ResultCacheRecord{
+					Cell: ev.Cell, OptionsDigest: digests[ev.Sweep], Key: ev.Key, Result: ev.Result,
+				}); perr != nil {
+					fmt.Fprintf(os.Stderr, "%s: cache write: %v\n", prefix, perr)
+				}
+			}
+			if inner != nil {
+				inner(ev)
+			}
 		}
 	}
 	return p, j, skipped
 }
 
-// finishRun closes the journal and translates a pool error into an exit:
-// cancellation prints the exact resume invocation (exit 130, the SIGINT
-// convention), anything else is fatal.
+// finishRun closes the journal and the cache store (printing its hit/write
+// summary) and translates a pool error into an exit: cancellation prints
+// the exact resume invocation (exit 130, the SIGINT convention), anything
+// else is fatal.
 func finishRun(prefix string, err error, j *cmpleak.SweepJournal, rc runConfig) {
 	if j != nil {
 		if cerr := j.Close(); cerr != nil {
 			fmt.Fprintf(os.Stderr, "%s: closing journal: %v\n", prefix, cerr)
+		}
+	}
+	if rc.store != nil {
+		st := rc.store.Stats()
+		fmt.Fprintf(os.Stderr, "%s: cache: %d job(s) reused, %d result(s) recorded\n",
+			prefix, st.Hits, st.Puts)
+		if cerr := rc.store.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "%s: closing cache: %v\n", prefix, cerr)
 		}
 	}
 	if err == nil {
@@ -435,43 +498,11 @@ func writeOut(path string, sweep *cmpleak.Sweep) {
 	fmt.Fprintf(os.Stderr, "leaksweep: wrote %s\n", path)
 }
 
-// emitReport prints one figure or the full report.
+// emitReport prints one figure or the full report through the shared
+// renderer (the leakserved service serves the same bytes).
 func emitReport(sweep *cmpleak.Sweep, fig string, csv bool) {
-	figures := map[string]func() cmpleak.FigureTable{
-		"3a": sweep.Figure3a,
-		"3b": sweep.Figure3b,
-		"4a": sweep.Figure4a,
-		"4b": sweep.Figure4b,
-		"5a": sweep.Figure5a,
-		"5b": sweep.Figure5b,
-		"6a": func() cmpleak.FigureTable { return sweep.Figure6a(4) },
-		"6b": func() cmpleak.FigureTable { return sweep.Figure6b(4) },
-	}
-
-	emit := func(t cmpleak.FigureTable) {
-		if csv {
-			fmt.Println(t.CSV())
-		} else {
-			fmt.Println(t.Markdown())
-		}
-	}
-
-	if fig != "" {
-		gen, ok := figures[strings.ToLower(fig)]
-		if !ok {
-			fatalf("unknown figure %q (want 3a..6b)", fig)
-		}
-		emit(gen())
-		return
-	}
-
-	// Full report: headline per size plus every figure in paper order.
-	for _, mb := range sweep.Options.CacheSizesMB {
-		fmt.Print(sweep.HeadlineAt(mb).String())
-		fmt.Println()
-	}
-	for _, t := range sweep.AllFigures() {
-		emit(t)
+	if err := cmpleak.WriteSweepReport(os.Stdout, sweep, fig, csv); err != nil {
+		fatalf("%v", err)
 	}
 }
 

@@ -111,6 +111,78 @@ func TestCrashResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCacheWarmRunByteIdentical runs the same sweep twice over one -cache
+// directory: the warm run must reuse every job (its summary says so) and
+// print byte-identical stdout.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	coldOut, coldErr, code := runMain(t, sweepArgs("-cache", dir))
+	if code != 0 {
+		t.Fatalf("cold run exited %d:\n%s", code, coldErr)
+	}
+	if !strings.Contains(coldErr, "cache: 0 job(s) reused, 8 result(s) recorded") {
+		t.Fatalf("cold run summary missing:\n%s", coldErr)
+	}
+	warmOut, warmErr, code := runMain(t, sweepArgs("-cache", dir))
+	if code != 0 {
+		t.Fatalf("warm run exited %d:\n%s", code, warmErr)
+	}
+	if !strings.Contains(warmErr, "cache: 8 job(s) reused, 0 result(s) recorded") {
+		t.Fatalf("warm run did not reuse all 8 jobs:\n%s", warmErr)
+	}
+	if warmOut != coldOut {
+		t.Fatalf("warm stdout diverged from cold run\n--- cold ---\n%s\n--- warm ---\n%s", coldOut, warmOut)
+	}
+	// A different seed is a different options digest: nothing may be reused.
+	otherArgs := sweepArgs("-cache", dir)
+	for i, a := range otherArgs {
+		if a == "-seed" {
+			otherArgs[i+1] = "8"
+		}
+	}
+	_, otherErr, code := runMain(t, otherArgs)
+	if code != 0 {
+		t.Fatalf("other-seed run exited %d:\n%s", code, otherErr)
+	}
+	if !strings.Contains(otherErr, "cache: 0 job(s) reused, 8 result(s) recorded") {
+		t.Fatalf("other-seed run reused foreign results:\n%s", otherErr)
+	}
+}
+
+// TestCacheComposesWithJournalResume runs -cache and -journal together.
+func TestCacheComposesWithJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	jnl := filepath.Join(dir, "run.jnl")
+	wantOut, _, code := runMain(t, sweepArgs())
+	if code != 0 {
+		t.Fatal("reference run failed")
+	}
+	gotOut, gotErr, code := runMain(t, sweepArgs("-cache", cacheDir, "-journal", jnl, "-resume"))
+	if code != 0 {
+		t.Fatalf("cache+journal run exited %d:\n%s", code, gotErr)
+	}
+	if gotOut != wantOut {
+		t.Fatal("cache+journal stdout diverged from plain run")
+	}
+}
+
+func TestCacheRefusedWithMerge(t *testing.T) {
+	_, stderr, code := runMain(t, []string{"-merge", "nope*.json", "-cache", "c"})
+	if code == 0 {
+		t.Fatal("-merge -cache accepted")
+	}
+	if !strings.Contains(stderr, "-cache") {
+		t.Fatalf("error does not mention -cache:\n%s", stderr)
+	}
+}
+
 // TestJournalRefusesStaleWithoutResume proves an existing journal is never
 // silently overwritten.
 func TestJournalRefusesStaleWithoutResume(t *testing.T) {

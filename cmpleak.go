@@ -30,6 +30,7 @@ import (
 	"cmpleak/internal/core"
 	"cmpleak/internal/decay"
 	"cmpleak/internal/experiment"
+	"cmpleak/internal/resultcache"
 	"cmpleak/internal/scenario"
 	"cmpleak/internal/sim"
 	"cmpleak/internal/workload"
@@ -249,6 +250,46 @@ func MergeSweepShards(shards ...SweepShard) (*Sweep, error) {
 // report.
 func MergeSweepShardGlob(glob string) (*Sweep, error) {
 	return experiment.MergeShardGlob(glob)
+}
+
+// WriteSweepReport renders a sweep's report — one figure (fig = "3a".."6b")
+// or, with fig == "", the per-size headlines plus every figure in paper
+// order — as markdown tables (or CSV with csv set).  It is the single
+// renderer behind both `leaksweep` stdout and the leakserved service's
+// report endpoint, so their output is byte-identical by construction.
+func WriteSweepReport(w io.Writer, s *Sweep, fig string, csv bool) error {
+	return experiment.WriteReport(w, s, fig, csv)
+}
+
+// GoldenAnchor identifies the simulator's current bit-exact behaviour (the
+// recorded golden sweep digest).  Persistent result stores stamp every
+// record with it and never serve records stamped with a different one, so a
+// model change invalidates every cache at once.
+const GoldenAnchor = experiment.GoldenAnchor
+
+// ResultCache is a persistent content-addressed store of completed job
+// results, shared across runs and processes: append-only CRC-framed
+// segments, an in-memory index with O(1) lookup, LRU eviction under a byte
+// budget, and atomic compaction.  `leaksweep -cache` and the leakserved
+// service both sit on it.
+type ResultCache = resultcache.Store
+
+// ResultCacheRecord is one cached job result: the golden anchor and options
+// digest it was simulated under, the job key, and the full result.
+type ResultCacheRecord = resultcache.Record
+
+// ResultCacheOptions configures a ResultCache (anchor override, byte budget,
+// compaction threshold); the zero value gives an unbounded store under the
+// current GoldenAnchor.
+type ResultCacheOptions = resultcache.Options
+
+// ResultCacheStats is a point-in-time snapshot of a store's counters.
+type ResultCacheStats = resultcache.Stats
+
+// OpenResultCache opens (creating if needed) the content-addressed result
+// store in dir.
+func OpenResultCache(dir string, opt ResultCacheOptions) (*ResultCache, error) {
+	return resultcache.Open(dir, opt)
 }
 
 // ParseTechnique parses a textual technique specification ("baseline",

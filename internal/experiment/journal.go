@@ -15,32 +15,34 @@ package experiment
 //
 //	magic   "CMPLJNL1"                       8 bytes
 //	records repeated until end of file:
-//	    payloadLen uint32 little-endian      JSON payload byte length
-//	    crc32      uint32 little-endian      IEEE CRC of the payload
-//	    payload    payloadLen bytes          JSON JournalRecord
+//	    one internal/frame frame whose payload is a JSON JournalRecord
 //
-// Appends are a single write each (so a killed process loses at most the
-// record being written), with fsync batched every journalSyncEvery records
-// plus an explicit Sync at shutdown.  Reload walks the frames and stops at
-// the first torn or corrupt one — short header, absurd length, CRC
-// mismatch, undecodable payload — truncating the file back to the last
-// valid record: a crash mid-append costs at most the trailing record,
-// never the file.
+// The frame layout (length + CRC32 + payload) is owned by internal/frame —
+// the journal is a single-file, single-run client of the same framed-record
+// machinery the content-addressed result cache's segments use, so the two
+// formats cannot drift apart.  Appends are a single write each (so a killed
+// process loses at most the record being written), with fsync batched every
+// journalSyncEvery records plus an unconditional fsync of the tail at
+// Sync/Close — a clean close is always durable, whatever the batch cadence
+// left pending.  Reload walks the frames and stops at the first torn or
+// corrupt one — short header, absurd length, CRC mismatch, undecodable
+// payload — truncating the file back to the last valid record: a crash
+// mid-append costs at most the trailing record, never the file.
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"cmpleak/internal/config"
 	"cmpleak/internal/core"
 	"cmpleak/internal/decay"
+	"cmpleak/internal/frame"
 )
 
 // journalMagic opens every journal file; the trailing digit is the format
@@ -114,17 +116,35 @@ type Journal struct {
 	pending int
 }
 
+// fileSync is the durability seam: every journal fsync goes through it, so
+// the tests can count sync points (TestJournalCloseSyncsTail) and prove the
+// tail of a cleanly closed journal is always flushed, whatever the batched
+// cadence left pending.
+var fileSync = (*os.File).Sync
+
+// syncDir fsyncs the directory holding path, making a freshly created
+// file's directory entry durable: without it a host crash can lose the
+// whole file even though its contents were synced.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	serr := fileSync(d)
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
 // appendJournalRecord encodes one framed record.
 func appendJournalRecord(dst []byte, rec JournalRecord) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return dst, fmt.Errorf("experiment: encoding journal record: %w", err)
 	}
-	var frame [8]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	dst = append(dst, frame[:]...)
-	return append(dst, payload...), nil
+	return frame.Append(dst, payload), nil
 }
 
 // decodeJournal walks the framed records of a journal image.  It returns
@@ -135,29 +155,16 @@ func decodeJournal(data []byte) ([]JournalRecord, int, error) {
 	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
 		return nil, 0, fmt.Errorf("%w: missing %q magic", ErrJournal, journalMagic)
 	}
-	pos := len(journalMagic)
 	var recs []JournalRecord
-	for {
-		if len(data)-pos < 8 {
-			break // torn frame header
-		}
-		n := binary.LittleEndian.Uint32(data[pos : pos+4])
-		sum := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
-		if n > maxJournalPayload || int(n) > len(data)-pos-8 {
-			break // absurd or truncated payload
-		}
-		payload := data[pos+8 : pos+8+int(n)]
-		if crc32.ChecksumIEEE(payload) != sum {
-			break // corrupt payload
-		}
+	valid := frame.Walk(data[len(journalMagic):], maxJournalPayload, func(payload []byte) bool {
 		var rec JournalRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			break // CRC-valid but undecodable: treat as the start of garbage
+			return false // CRC-valid but undecodable: treat as the start of garbage
 		}
 		recs = append(recs, rec)
-		pos += 8 + int(n)
-	}
-	return recs, pos, nil
+		return true
+	})
+	return recs, len(journalMagic) + valid, nil
 }
 
 // OpenJournal opens (creating if needed) the journal at path for appending
@@ -176,12 +183,18 @@ func OpenJournal(path string) (*Journal, []JournalRecord, error) {
 		return nil, nil, err
 	}
 	if st.Size() == 0 {
-		// Fresh journal: magic first, synced before any record can land.
+		// Fresh journal: magic first, synced before any record can land, and
+		// the directory entry made durable too — a synced file a crash can
+		// unlink is not a crash-safe journal.
 		if _, err := f.WriteString(journalMagic); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
-		if err := f.Sync(); err != nil {
+		if err := fileSync(f); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := syncDir(path); err != nil {
 			f.Close()
 			return nil, nil, err
 		}
@@ -201,6 +214,12 @@ func OpenJournal(path string) (*Journal, []JournalRecord, error) {
 		if err := f.Truncate(int64(valid)); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("%s: truncating torn tail: %w", path, err)
+		}
+		// Persist the heal: a crash after appends but before the next batched
+		// sync must not resurrect the torn bytes in front of new records.
+		if err := fileSync(f); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("%s: syncing truncated tail: %w", path, err)
 		}
 	}
 	if _, err := f.Seek(int64(valid), 0); err != nil {
@@ -240,22 +259,28 @@ func (j *Journal) Append(rec JournalRecord) error {
 	j.pending++
 	if j.pending >= journalSyncEvery {
 		j.pending = 0
-		if err := j.f.Sync(); err != nil {
+		if err := fileSync(j.f); err != nil {
 			return fmt.Errorf("experiment: journal sync: %w", err)
 		}
 	}
 	return nil
 }
 
-// Sync flushes pending appends to stable storage.
+// Sync flushes pending appends to stable storage.  It fsyncs
+// unconditionally — even when the batched every-journalSyncEvery cadence
+// happens to have just fired — so after Sync returns, every appended record
+// is durable regardless of where the batch counter stood.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.pending = 0
-	return j.f.Sync()
+	return fileSync(j.f)
 }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal.  The final Sync flushes the tail: up
+// to journalSyncEvery-1 records can be pending under the batched cadence,
+// and a clean close must never leave them to the mercy of the page cache
+// (TestJournalCloseSyncsTail pins this).
 func (j *Journal) Close() error {
 	if err := j.Sync(); err != nil {
 		j.f.Close()

@@ -327,3 +327,54 @@ func TestJournalAfterCrashSurvivesConfigBaseChange(t *testing.T) {
 		t.Fatal("record reused across a base-config change")
 	}
 }
+
+// TestJournalCloseSyncsTail pins the durability contract of a clean close:
+// with the batched fsync-every-journalSyncEvery cadence, up to
+// journalSyncEvery-1 appended records sit in the page cache — Close (via
+// the final Sync) must fsync that tail unconditionally, not only when the
+// batch counter happens to fire.  The fileSync seam counts the actual sync
+// points.
+func TestJournalCloseSyncsTail(t *testing.T) {
+	var syncs int
+	orig := fileSync
+	fileSync = func(f *os.File) error { syncs++; return orig(f) }
+	defer func() { fileSync = orig }()
+
+	path := filepath.Join(t.TempDir(), "j.jnl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Creation syncs the fresh magic and the directory entry.
+	createSyncs := syncs
+	if createSyncs < 2 {
+		t.Fatalf("creating the journal synced %d times; want the file and its directory entry", createSyncs)
+	}
+
+	n := journalSyncEvery - 1 // strictly inside one batch window
+	for i := 0; i < n; i++ {
+		if err := j.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != createSyncs {
+		t.Fatalf("%d appends inside the batch window triggered %d extra sync(s); want 0",
+			n, syncs-createSyncs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != createSyncs+1 {
+		t.Fatalf("Close performed %d sync(s); want exactly 1 flushing the %d pending record(s)",
+			syncs-createSyncs, n)
+	}
+
+	// And the tail really is whole on disk.
+	recs, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("reload found %d records, want %d", len(recs), n)
+	}
+}

@@ -1,0 +1,77 @@
+package experiment
+
+// WriteReport renders a sweep's report to one writer — the single renderer
+// behind both `leaksweep` stdout and the leakserved service's /report
+// endpoint, so "the service serves exactly what the CLI prints" is true by
+// construction rather than by parallel maintenance.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// figureTables maps figure names ("3a".."6b") to their generators.  Figures
+// 6a/6b fix the paper's 4MB configuration, matching the CLI default.
+func figureTables(s *Sweep) map[string]func() Table {
+	return map[string]func() Table{
+		"3a": s.Figure3a,
+		"3b": s.Figure3b,
+		"4a": s.Figure4a,
+		"4b": s.Figure4b,
+		"5a": s.Figure5a,
+		"5b": s.Figure5b,
+		"6a": func() Table { return s.Figure6a(4) },
+		"6b": func() Table { return s.Figure6b(4) },
+	}
+}
+
+// FigureByName returns the generator of one named figure ("3a".."6b",
+// case-insensitive); the error message is the CLI's -fig usage error.
+func FigureByName(s *Sweep, fig string) (func() Table, error) {
+	gen, ok := figureTables(s)[strings.ToLower(fig)]
+	if !ok {
+		return nil, fmt.Errorf("unknown figure %q (want 3a..6b)", fig)
+	}
+	return gen, nil
+}
+
+// WriteReport writes one figure (fig = "3a".."6b") or, with fig == "", the
+// full report: the per-size headline block followed by every figure in paper
+// order.  Output is markdown tables, or CSV when csv is set, terminated by
+// the same blank-line separators the CLI has always printed.  An unknown
+// figure name is an error (the CLI turns it into its usage fatalf).
+func WriteReport(w io.Writer, s *Sweep, fig string, csv bool) error {
+	emit := func(t Table) error {
+		var err error
+		if csv {
+			_, err = fmt.Fprintln(w, t.CSV())
+		} else {
+			_, err = fmt.Fprintln(w, t.Markdown())
+		}
+		return err
+	}
+
+	if fig != "" {
+		gen, err := FigureByName(s, fig)
+		if err != nil {
+			return err
+		}
+		return emit(gen())
+	}
+
+	for _, mb := range s.Options.CacheSizesMB {
+		if _, err := fmt.Fprint(w, s.HeadlineAt(mb).String()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, t := range s.AllFigures() {
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// collect walks data and returns the accepted payload copies plus the valid
+// prefix length.
+func collect(data []byte, maxPayload uint32) ([][]byte, int) {
+	var got [][]byte
+	n := Walk(data, maxPayload, func(p []byte) bool {
+		got = append(got, append([]byte(nil), p...))
+		return true
+	})
+	return got, n
+}
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("a longer payload with bytes \x00\xff"), []byte("z")}
+	var buf []byte
+	want := 0
+	for _, p := range payloads {
+		buf = Append(buf, p)
+		want += Size(len(p))
+	}
+	if len(buf) != want {
+		t.Fatalf("encoded %d bytes, Size sums to %d", len(buf), want)
+	}
+	got, valid := collect(buf, 0)
+	if valid != len(buf) {
+		t.Fatalf("valid prefix %d, want %d", valid, len(buf))
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("walked %d payloads, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("payload %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestWalkStopsAtTornHeader(t *testing.T) {
+	buf := Append(nil, []byte("whole"))
+	whole := len(buf)
+	buf = append(buf, 0x01, 0x02, 0x03) // 3 bytes cannot hold a header
+	got, valid := collect(buf, 0)
+	if len(got) != 1 || valid != whole {
+		t.Fatalf("got %d payloads, valid %d; want 1 payload, valid %d", len(got), valid, whole)
+	}
+}
+
+func TestWalkStopsAtTruncatedPayload(t *testing.T) {
+	buf := Append(nil, []byte("whole"))
+	whole := len(buf)
+	buf = Append(buf, []byte("truncated tail"))
+	buf = buf[:len(buf)-5]
+	got, valid := collect(buf, 0)
+	if len(got) != 1 || valid != whole {
+		t.Fatalf("got %d payloads, valid %d; want 1 payload, valid %d", len(got), valid, whole)
+	}
+}
+
+func TestWalkStopsAtCorruptPayload(t *testing.T) {
+	buf := Append(nil, []byte("first"))
+	whole := len(buf)
+	buf = Append(buf, []byte("second"))
+	buf[len(buf)-1] ^= 0xff
+	got, valid := collect(buf, 0)
+	if len(got) != 1 || valid != whole {
+		t.Fatalf("got %d payloads, valid %d; want 1 payload, valid %d", len(got), valid, whole)
+	}
+}
+
+func TestWalkBoundsPayloadLength(t *testing.T) {
+	// A frame whose length field claims more than maxPayload stops the walk
+	// even when the data after it happens to be long enough.
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+	buf := append(Append(nil, []byte("ok")), hdr[:]...)
+	buf = append(buf, make([]byte, 64)...)
+	got, valid := collect(buf, 1<<20)
+	if len(got) != 1 || valid != Size(2) {
+		t.Fatalf("got %d payloads, valid %d; want 1 payload, valid %d", len(got), valid, Size(2))
+	}
+}
+
+func TestWalkStopsWhenFnRejects(t *testing.T) {
+	buf := Append(Append(Append(nil, []byte("a")), []byte("bad")), []byte("c"))
+	var seen []string
+	valid := Walk(buf, 0, func(p []byte) bool {
+		if string(p) == "bad" {
+			return false
+		}
+		seen = append(seen, string(p))
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "a" || valid != Size(1) {
+		t.Fatalf("seen %v, valid %d; want [a], valid %d", seen, valid, Size(1))
+	}
+}
+
+func TestWalkEmpty(t *testing.T) {
+	if got, valid := collect(nil, 0); len(got) != 0 || valid != 0 {
+		t.Fatalf("empty walk returned %d payloads, valid %d", len(got), valid)
+	}
+}

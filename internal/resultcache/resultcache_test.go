@@ -1,0 +1,352 @@
+package resultcache
+
+// Store tests: round-trips across reopen, anchor invalidation (the
+// acceptance rule — a record stamped under a different golden anchor is
+// never served), last-record-wins duplicates, LRU eviction under MaxBytes,
+// atomic compaction (including a simulated crash mid-compaction), and the
+// ReuseFor adapter feeding the worker pool byte-identical results.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmpleak/internal/core"
+	"cmpleak/internal/experiment"
+	"cmpleak/internal/sim"
+)
+
+// noCompact disables automatic compaction so tests control it explicitly.
+const noCompact = -1
+
+func testKey(i int) experiment.Key {
+	return experiment.Key{Benchmark: "FMM", SizeMB: i + 1, Technique: "baseline"}
+}
+
+func testRecord(digest string, i int) Record {
+	return Record{
+		Cell:          "cell",
+		OptionsDigest: digest,
+		Key:           testKey(i),
+		Result:        core.Result{Label: "r", Cycles: sim.Cycle(1000 + i), IPC: 1.5},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Anchor: "anchorA", CompactMinBytes: noCompact})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(testRecord("d1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res, ok := s.Get("d1", testKey(2)); !ok || res.Cycles != 1002 {
+		t.Fatalf("Get before close = (%v, %v), want cycles 1002", res.Cycles, ok)
+	}
+	if _, ok := s.Get("other-digest", testKey(2)); ok {
+		t.Fatal("a different options digest must miss")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{Anchor: "anchorA", CompactMinBytes: noCompact})
+	defer s.Close()
+	if st := s.Stats(); st.Entries != 4 {
+		t.Fatalf("reopened store holds %d entries, want 4", st.Entries)
+	}
+	for i := 0; i < 4; i++ {
+		res, ok := s.Get("d1", testKey(i))
+		if !ok || res.Cycles != sim.Cycle(1000+i) {
+			t.Fatalf("key %d = (%v, %v), want cycles %d", i, res.Cycles, ok, 1000+i)
+		}
+	}
+}
+
+func TestStoreNeverServesForeignAnchor(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Anchor: "anchorA", CompactMinBytes: noCompact})
+	if err := s.Put(testRecord("d1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	// A record explicitly stamped with a foreign anchor is rejected at Put.
+	foreign := testRecord("d1", 1)
+	foreign.Anchor = "anchorB"
+	if err := s.Put(foreign); err == nil {
+		t.Fatal("Put accepted a record stamped with a foreign anchor")
+	}
+	s.Close()
+
+	// Reopening the directory under a different anchor serves nothing: the
+	// on-disk record's anchor no longer matches.
+	s = mustOpen(t, dir, Options{Anchor: "anchorB", CompactMinBytes: noCompact})
+	if _, ok := s.Get("d1", testKey(0)); ok {
+		t.Fatal("record recorded under anchorA was served under anchorB")
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("foreign-anchor store indexes %d entries, want 0", st.Entries)
+	}
+	// Compaction drops the dead foreign record from disk for good.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s = mustOpen(t, dir, Options{Anchor: "anchorA", CompactMinBytes: noCompact})
+	defer s.Close()
+	if _, ok := s.Get("d1", testKey(0)); ok {
+		t.Fatal("compaction under anchorB must discard anchorA records; reopening under anchorA found one")
+	}
+}
+
+func TestStoreLastRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	rec := testRecord("d1", 0)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Result.Cycles = 9999
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := s.Get("d1", testKey(0)); res.Cycles != 9999 {
+		t.Fatalf("duplicate Put: got cycles %d, want the later 9999", res.Cycles)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate key indexed %d entries, want 1", st.Entries)
+	}
+	s.Close()
+	s = mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	defer s.Close()
+	if res, _ := s.Get("d1", testKey(0)); res.Cycles != 9999 {
+		t.Fatalf("reload of duplicate records: got cycles %d, want the later 9999", res.Cycles)
+	}
+}
+
+func TestStoreEvictsLRUUnderMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	// Measure one record's framed footprint, then bound the store to ~3.
+	if err := s.Put(testRecord("d0", 0)); err != nil {
+		t.Fatal(err)
+	}
+	recSize := s.Stats().LiveBytes
+	s.Close()
+	os.RemoveAll(dir)
+
+	s = mustOpen(t, dir, Options{Anchor: "a", MaxBytes: 3 * recSize, CompactMinBytes: noCompact})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testRecord("d1", i)); err != nil {
+			t.Fatal(err)
+		}
+		// Touch key 0 so it stays hot and survives eviction.
+		if i >= 1 {
+			s.Get("d1", testKey(0))
+		}
+	}
+	st := s.Stats()
+	if st.Entries != 3 || st.Evictions != 2 {
+		t.Fatalf("entries %d, evictions %d; want 3 live entries after 2 evictions", st.Entries, st.Evictions)
+	}
+	if _, ok := s.Get("d1", testKey(0)); !ok {
+		t.Fatal("most-recently-used record was evicted")
+	}
+	if _, ok := s.Get("d1", testKey(1)); ok {
+		t.Fatal("least-recently-used record survived eviction")
+	}
+}
+
+func TestStoreCompactionReclaimsDeadBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	rec := testRecord("d1", 0)
+	for i := 0; i < 10; i++ {
+		rec.Result.Cycles = sim.Cycle(i)
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(testRecord("d1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.TotalBytes <= before.LiveBytes {
+		t.Fatalf("expected dead bytes before compaction: total %d, live %d", before.TotalBytes, before.LiveBytes)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.Entries != 2 || after.Segments != 1 {
+		t.Fatalf("after compaction: %d entries in %d segments, want 2 in 1", after.Entries, after.Segments)
+	}
+	if after.TotalBytes >= before.TotalBytes {
+		t.Fatalf("compaction did not shrink the store: %d -> %d bytes", before.TotalBytes, after.TotalBytes)
+	}
+	// Appends continue on the compacted segment and everything survives a
+	// reopen.
+	if err := s.Put(testRecord("d1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s = mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	defer s.Close()
+	if res, ok := s.Get("d1", testKey(0)); !ok || res.Cycles != 9 {
+		t.Fatalf("compacted record = (%v, %v), want the last duplicate (cycles 9)", res.Cycles, ok)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, ok := s.Get("d1", testKey(i)); !ok {
+			t.Fatalf("record %d lost across compaction + reopen", i)
+		}
+	}
+}
+
+func TestStoreAutoCompacts(t *testing.T) {
+	dir := t.TempDir()
+	// CompactMinBytes 1: compact as soon as dead bytes outweigh live ones.
+	s := mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: 1})
+	rec := testRecord("d1", 0)
+	for i := 0; i < 8; i++ {
+		rec.Result.Cycles = sim.Cycle(i)
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Fatalf("8 duplicate puts never auto-compacted: %+v", st)
+	}
+	if res, ok := s.Get("d1", testKey(0)); !ok || res.Cycles != 7 {
+		t.Fatalf("after auto-compaction: (%v, %v), want cycles 7", res.Cycles, ok)
+	}
+}
+
+func TestStoreIgnoresInterruptedCompactionTmp(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	if err := s.Put(testRecord("d1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-compaction: a half-written .tmp next to the
+	// segments.
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000002.tmp"), []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	defer s.Close()
+	if _, ok := s.Get("d1", testKey(0)); !ok {
+		t.Fatal("record lost to a leftover compaction tmp")
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("leftover tmp files not cleaned: %v", tmps)
+	}
+}
+
+func TestStoreTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testRecord("d1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	if st := s.Stats(); st.Entries != 2 {
+		t.Fatalf("torn tail: %d entries, want 2", st.Entries)
+	}
+	// Appending after the heal keeps the file a clean frame sequence.
+	if err := s.Put(testRecord("d1", 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s = mustOpen(t, dir, Options{Anchor: "a", CompactMinBytes: noCompact})
+	defer s.Close()
+	if st := s.Stats(); st.Entries != 3 {
+		t.Fatalf("after heal + append: %d entries, want 3", st.Entries)
+	}
+}
+
+func TestStoreRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("NOTACAS!whatever"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Anchor: "a"}); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("Open on a foreign segment file: err = %v, want a magic error", err)
+	}
+}
+
+// TestReuseForFeedsPoolByteIdentical runs a tiny sweep cold (populating the
+// store through the progress callback), then warm through ReuseFor, and
+// asserts (a) zero jobs execute warm and (b) the merged sweep digests are
+// identical.
+func TestReuseForFeedsPoolByteIdentical(t *testing.T) {
+	opts := experiment.DefaultOptions(0.005)
+	opts.Benchmarks = []string{"FMM"}
+	opts.CacheSizesMB = []int{1}
+	opts.Seed = 7
+	named := []experiment.NamedOptions{{Name: "cell", Options: opts}}
+	digest := opts.Digest()
+
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactMinBytes: noCompact}) // default anchor
+	cold, err := experiment.RunParallelAll(named, experiment.Parallelism{
+		Workers: 2,
+		Progress: func(ev experiment.JobEvent) {
+			if ev.Err != nil {
+				return
+			}
+			if err := s.Put(Record{Cell: ev.Cell, OptionsDigest: digest, Key: ev.Key, Result: ev.Result}); err != nil {
+				t.Errorf("Put: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{CompactMinBytes: noCompact})
+	defer s.Close()
+	ran := 0
+	warm, err := experiment.RunParallelAll(named, experiment.Parallelism{
+		Workers:  2,
+		Reuse:    s.ReuseFor(named),
+		Progress: func(experiment.JobEvent) { ran++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Fatalf("warm run simulated %d jobs, want 0", ran)
+	}
+	if got, want := warm[0].Digest(), cold[0].Digest(); got != want {
+		t.Fatalf("warm sweep digest %s != cold %s", got, want)
+	}
+	if st := s.Stats(); st.Hits != uint64(len(opts.Jobs())) {
+		t.Fatalf("warm run hit %d times, want %d", st.Hits, len(opts.Jobs()))
+	}
+}

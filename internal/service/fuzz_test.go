@@ -1,0 +1,69 @@
+package service
+
+// FuzzServeScenario throws arbitrary bytes at POST /v1/runs (served
+// directly, so a handler panic fails the fuzzer instead of being swallowed
+// by net/http's recovery).  Whatever the body: no panic, and the response
+// is either 202 (accepted), 400 with a scenario-taxonomy errorBody, 413
+// (oversized) or 503 (queue full / shutting down).  The executor is a stub
+// that never simulates, so even a "valid" fuzz input costs nothing.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cmpleak/internal/experiment"
+)
+
+func FuzzServeScenario(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{not json`))
+	f.Add(tinyScenario("seed"))
+	f.Add(paperSeed())
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":1,"benchmarks":["NOPE"],"l2_sizes_mb":[1],"techniques":["decay:512K"]}`))
+	f.Add([]byte(`{"version":1,"benchmarks":["FMM"],"l2_sizes_mb":[0],"techniques":["x"]}`))
+
+	stub := func(ctx context.Context, cells []experiment.NamedOptions, p experiment.Parallelism) ([]*experiment.Sweep, error) {
+		return make([]*experiment.Sweep, len(cells)), nil
+	}
+	svc := newServer(Config{Workers: 1, QueueDepth: 4}, stub)
+	defer svc.Close()
+	handler := svc.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusAccepted:
+			var st RunStatus
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				t.Fatalf("202 body is not a RunStatus: %v", err)
+			}
+			if st.ID == "" {
+				t.Fatal("accepted run has no ID")
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusServiceUnavailable:
+			var eb errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("%d body is not an errorBody: %v\n%s", rec.Code, err, rec.Body.Bytes())
+			}
+			if eb.Error == "" {
+				t.Fatalf("%d response carries no error message", rec.Code)
+			}
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+	})
+}
+
+// paperSeed is a fuzz seed shaped like scenarios/paper.json (kept inline:
+// fuzz corpora must not depend on repo-relative file reads).
+func paperSeed() []byte {
+	return []byte(`{"version":1,"name":"paper","benchmarks":["FMM"],"l2_sizes_mb":[1,2,4,8],` +
+		`"techniques":["protocol","decay:512K"],"core_counts":[4],"seeds":[1],"scale":1.0}`)
+}

@@ -1,0 +1,500 @@
+// Package service implements the leakserved sweep service: an HTTP/JSON
+// front end that accepts declarative scenario files, expands them into
+// sweep cells, dedups their jobs against the persistent content-addressed
+// result cache (internal/resultcache), and queues the misses through one
+// shared in-process worker pool.  Progress streams per cell as NDJSON or
+// SSE, and completed runs serve the exact report bytes `leaksweep` prints —
+// both sit on experiment.WriteReport, so equality holds by construction.
+//
+// One executor goroutine drains a bounded two-class run queue (high and
+// normal priority, FIFO within a class, with aging so a steady stream of
+// high-priority submissions cannot starve normal ones) and runs one
+// scenario at a time through experiment.RunParallelAllContext — the
+// service's concurrency knob is the pool's worker count, not the number of
+// simultaneously executing runs, so job-level determinism and the
+// byte-identical-output guarantee carry over unchanged.
+//
+// Shutdown is graceful: Close stops admissions, cancels the running
+// scenario (in-flight jobs finish, queued jobs are skipped — the pool's
+// cancellation contract), marks still-queued runs canceled, and syncs the
+// result store.  Every completed job was already written through to the
+// cache, so resubmitting the same scenario resumes from cache hits rather
+// than resimulating.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cmpleak/internal/config"
+	"cmpleak/internal/core"
+	"cmpleak/internal/experiment"
+	"cmpleak/internal/resultcache"
+	"cmpleak/internal/scenario"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the shared pool's worker count (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many runs may wait behind the executing one;
+	// submissions beyond it are refused with 503 (0 = default 8).
+	QueueDepth int
+	// MaxBodyBytes bounds an uploaded scenario body (0 = default 1 MiB).
+	MaxBodyBytes int64
+	// Store, when non-nil, is the persistent result cache: every submitted
+	// cell's jobs are dedup'd against it before queueing, and every
+	// completed job is written through to it.
+	Store *resultcache.Store
+}
+
+const (
+	defaultQueueDepth   = 8
+	defaultMaxBodyBytes = 1 << 20
+)
+
+// State is a run's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// normAgingLimit bounds priority starvation: after this many consecutive
+// high-priority runs execute past a waiting normal one, the normal run goes
+// next regardless.
+const normAgingLimit = 4
+
+// Event is one entry of a run's progress log, streamed by /events.
+type Event struct {
+	// Seq numbers events within the run, from 1.
+	Seq int `json:"seq"`
+	// Type is "state" (lifecycle transition) or "job" (one job finished).
+	Type string `json:"type"`
+	// State accompanies type "state".
+	State State `json:"state,omitempty"`
+	// Cell, Key, Done and Total accompany type "job" (cache-satisfied jobs
+	// never appear: the pool excludes them from Done/Total).
+	Cell  string          `json:"cell,omitempty"`
+	Key   *experiment.Key `json:"key,omitempty"`
+	Done  int             `json:"done,omitempty"`
+	Total int             `json:"total,omitempty"`
+	// Error accompanies a terminal "state" event of a failed run.
+	Error string `json:"error,omitempty"`
+}
+
+// CellStatus describes one expanded cell of a run.
+type CellStatus struct {
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+	Jobs   int    `json:"jobs"`
+}
+
+// RunStatus is the JSON shape of GET /v1/runs/{id}.
+type RunStatus struct {
+	ID       string       `json:"id"`
+	Name     string       `json:"name,omitempty"`
+	State    State        `json:"state"`
+	Priority string       `json:"priority"`
+	Cells    []CellStatus `json:"cells"`
+	// JobsTotal counts every job of every cell; Cached how many the result
+	// cache satisfied without simulating; JobsDone how many have simulated.
+	JobsTotal int    `json:"jobs_total"`
+	Cached    int    `json:"cached"`
+	JobsDone  int    `json:"jobs_done"`
+	Error     string `json:"error,omitempty"`
+	// ResultDigests are the completed cells' sweep digests (one per cell, in
+	// cell order; present once the run is done).  They pin the run's results
+	// bit for bit — a client can compare them against a serial `leaksweep`
+	// run's digests, or across daemons.
+	ResultDigests []string `json:"result_digests,omitempty"`
+}
+
+// run is the server-side state of one submitted scenario.
+type run struct {
+	id            string
+	name          string
+	high          bool
+	cells         []scenario.Cell
+	digests       []string
+	jobs          int
+	state         State
+	cached        int
+	jobsDone      int
+	errMsg        string
+	sweeps        []*experiment.Sweep
+	resultDigests []string
+	events        []Event
+	// changed is closed and replaced on every event append; streamers grab
+	// the current channel under mu and wait on it.
+	changed chan struct{}
+	// cancel interrupts the run while executing (nil otherwise).
+	cancel context.CancelFunc
+}
+
+// runFunc executes one batch through the pool — a seam so in-package tests
+// (and the HTTP fuzzer) can swap the simulator out.
+type runFunc func(ctx context.Context, cells []experiment.NamedOptions, p experiment.Parallelism) ([]*experiment.Sweep, error)
+
+// Server is the sweep service.  Create with New, mount Handler, and Close
+// on shutdown.
+type Server struct {
+	cfg  Config
+	exec runFunc
+
+	mu        sync.Mutex
+	runs      map[string]*run
+	order     []string // submission order, for GET /v1/runs
+	queueHigh []*run
+	queueNorm []*run
+	normWait  int // consecutive high-priority runs executed past a waiting normal one
+	nextID    int
+	closed    bool
+
+	wake     chan struct{} // buffered 1: kicks the executor
+	execDone chan struct{}
+
+	start        time.Time
+	jobsDone     uint64
+	cacheHits    uint64
+	cacheLookups uint64
+}
+
+// New starts a Server (its executor goroutine runs until Close).
+func New(cfg Config) *Server {
+	return newServer(cfg, experiment.RunParallelAllContext)
+}
+
+func newServer(cfg Config, exec runFunc) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:      cfg,
+		exec:     exec,
+		runs:     make(map[string]*run),
+		wake:     make(chan struct{}, 1),
+		execDone: make(chan struct{}),
+		start:    time.Now(),
+	}
+	go s.executor()
+	return s
+}
+
+// errQueueFull refuses a submission when the run queue is at QueueDepth.
+var errQueueFull = errors.New("service: run queue is full")
+
+// errClosed refuses submissions during shutdown.
+var errClosed = errors.New("service: shutting down")
+
+// Submit parses, expands and enqueues one scenario body.  Scenario
+// validation errors come back wrapped in the scenario package's sentinel
+// taxonomy (the HTTP layer maps them to 400s); a full queue returns
+// errQueueFull.
+func (s *Server) Submit(body []byte, high bool) (RunStatus, error) {
+	sc, err := scenario.Parse(body)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	cells, err := sc.Expand(config.Default())
+	if err != nil {
+		return RunStatus{}, err
+	}
+	r := &run{
+		name:    sc.Name,
+		high:    high,
+		cells:   cells,
+		digests: make([]string, len(cells)),
+		state:   StateQueued,
+		changed: make(chan struct{}),
+	}
+	for i := range cells {
+		r.digests[i] = cells[i].Options.Digest()
+		r.jobs += len(cells[i].Options.Jobs())
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return RunStatus{}, errClosed
+	}
+	if len(s.queueHigh)+len(s.queueNorm) >= s.cfg.QueueDepth {
+		return RunStatus{}, errQueueFull
+	}
+	s.nextID++
+	r.id = fmt.Sprintf("r-%06d", s.nextID)
+	s.runs[r.id] = r
+	s.order = append(s.order, r.id)
+	if high {
+		s.queueHigh = append(s.queueHigh, r)
+	} else {
+		s.queueNorm = append(s.queueNorm, r)
+	}
+	s.appendEventLocked(r, Event{Type: "state", State: StateQueued})
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return s.statusLocked(r), nil
+}
+
+// Status returns a run's status snapshot; ok is false for an unknown ID.
+func (s *Server) Status(id string) (RunStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return RunStatus{}, false
+	}
+	return s.statusLocked(r), true
+}
+
+// List returns every run's status in submission order.
+func (s *Server) List() []RunStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.runs[id]))
+	}
+	return out
+}
+
+// Cancel cancels a queued or running run.  It reports whether the ID exists;
+// canceling a terminal run is a harmless no-op.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	if !ok {
+		return false
+	}
+	switch r.state {
+	case StateQueued:
+		s.dequeueLocked(r)
+		s.finishLocked(r, StateCanceled, "canceled by client")
+	case StateRunning:
+		// The executor observes the pool's cancellation error and marks the
+		// run canceled; completed jobs are already in the cache.
+		r.cancel()
+	}
+	return true
+}
+
+func (s *Server) statusLocked(r *run) RunStatus {
+	st := RunStatus{
+		ID: r.id, Name: r.name, State: r.state,
+		Priority:  "normal",
+		Cells:     make([]CellStatus, len(r.cells)),
+		JobsTotal: r.jobs, Cached: r.cached, JobsDone: r.jobsDone,
+		Error:         r.errMsg,
+		ResultDigests: r.resultDigests,
+	}
+	if r.high {
+		st.Priority = "high"
+	}
+	for i := range r.cells {
+		st.Cells[i] = CellStatus{
+			Name:   r.cells[i].Name,
+			Digest: r.digests[i],
+			Jobs:   len(r.cells[i].Options.Jobs()),
+		}
+	}
+	return st
+}
+
+// appendEventLocked logs one event and wakes every streamer.
+func (s *Server) appendEventLocked(r *run, ev Event) {
+	ev.Seq = len(r.events) + 1
+	r.events = append(r.events, ev)
+	close(r.changed)
+	r.changed = make(chan struct{})
+}
+
+// finishLocked moves a run to a terminal state.
+func (s *Server) finishLocked(r *run, state State, errMsg string) {
+	r.state = state
+	r.errMsg = errMsg
+	r.cancel = nil
+	s.appendEventLocked(r, Event{Type: "state", State: state, Error: errMsg})
+}
+
+// dequeueLocked removes a queued run from its class queue.
+func (s *Server) dequeueLocked(r *run) {
+	q := &s.queueNorm
+	if r.high {
+		q = &s.queueHigh
+	}
+	for i, qr := range *q {
+		if qr == r {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}
+
+// nextLocked picks the next run to execute: high-priority FIFO first, except
+// that a normal run which has already waited through normAgingLimit
+// consecutive high runs goes first (anti-starvation aging).
+func (s *Server) nextLocked() *run {
+	var r *run
+	switch {
+	case len(s.queueNorm) > 0 && (len(s.queueHigh) == 0 || s.normWait >= normAgingLimit):
+		r, s.queueNorm = s.queueNorm[0], s.queueNorm[1:]
+		s.normWait = 0
+	case len(s.queueHigh) > 0:
+		r, s.queueHigh = s.queueHigh[0], s.queueHigh[1:]
+		if len(s.queueNorm) > 0 {
+			s.normWait++
+		}
+	}
+	return r
+}
+
+// executor is the single run-execution goroutine: one scenario at a time
+// through the shared pool.
+func (s *Server) executor() {
+	defer close(s.execDone)
+	for {
+		s.mu.Lock()
+		r := s.nextLocked()
+		if r == nil {
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			<-s.wake
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		r.state = StateRunning
+		r.cancel = cancel
+		s.appendEventLocked(r, Event{Type: "state", State: StateRunning})
+		named := scenario.NamedOptions(r.cells)
+		p := s.parallelism(r)
+		s.mu.Unlock()
+
+		sweeps, err := s.exec(ctx, named, p)
+		cancel()
+
+		s.mu.Lock()
+		switch {
+		case err == nil:
+			r.sweeps = sweeps
+			r.resultDigests = make([]string, len(sweeps))
+			for i, sw := range sweeps {
+				if sw != nil { // test stubs may return placeholder batches
+					r.resultDigests[i] = sw.Digest()
+				}
+			}
+			s.finishLocked(r, StateDone, "")
+		case errors.Is(err, context.Canceled):
+			s.finishLocked(r, StateCanceled,
+				"canceled; completed jobs are cached — resubmit the scenario to resume")
+		default:
+			s.finishLocked(r, StateFailed, err.Error())
+		}
+		s.mu.Unlock()
+	}
+}
+
+// parallelism builds one run's pool configuration: the shared worker count,
+// the cache Reuse hook (counting hits and lookups) and a Progress callback
+// that writes each completed job through to the store and logs a job event.
+// Called with s.mu held; the returned callbacks take s.mu themselves.
+func (s *Server) parallelism(r *run) experiment.Parallelism {
+	p := experiment.Parallelism{Workers: s.cfg.Workers}
+	digests := make(map[string]string, len(r.cells))
+	for i := range r.cells {
+		digests[r.cells[i].Name] = r.digests[i]
+	}
+	if s.cfg.Store != nil {
+		p.Reuse = func(cell string, key experiment.Key) (core.Result, bool) {
+			res, ok := s.cfg.Store.Get(digests[cell], key)
+			s.mu.Lock()
+			s.cacheLookups++
+			if ok {
+				s.cacheHits++
+				r.cached++
+			}
+			s.mu.Unlock()
+			return res, ok
+		}
+	}
+	p.Progress = func(ev experiment.JobEvent) {
+		if ev.Err == nil && s.cfg.Store != nil {
+			if perr := s.cfg.Store.Put(resultcache.Record{
+				Cell: ev.Cell, OptionsDigest: digests[ev.Cell], Key: ev.Key, Result: ev.Result,
+			}); perr != nil {
+				// A cache write failure must not fail the run: the result is
+				// already in its sweep slot.  Surface it in the event stream.
+				s.mu.Lock()
+				s.appendEventLocked(r, Event{Type: "state", State: r.state,
+					Error: fmt.Sprintf("cache write: %v", perr)})
+				s.mu.Unlock()
+			}
+		}
+		s.mu.Lock()
+		if ev.Err == nil {
+			r.jobsDone++
+			s.jobsDone++
+		}
+		key := ev.Key
+		s.appendEventLocked(r, Event{
+			Type: "job", Cell: ev.Cell, Key: &key, Done: ev.Done, Total: ev.Total,
+		})
+		s.mu.Unlock()
+	}
+	return p
+}
+
+// Close shuts the service down gracefully: admissions stop, the executing
+// run is canceled (in-flight jobs finish and are cached; the run reports
+// canceled-resumable), queued runs are marked canceled, and the result
+// store is synced.  Close returns once the executor has drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.execDone
+		return nil
+	}
+	s.closed = true
+	for _, q := range [][]*run{s.queueHigh, s.queueNorm} {
+		for _, r := range q {
+			s.finishLocked(r, StateCanceled,
+				"server shut down before the run started; completed cells of earlier runs are cached — resubmit to resume")
+		}
+	}
+	s.queueHigh, s.queueNorm = nil, nil
+	var cancel context.CancelFunc
+	for _, r := range s.runs {
+		if r.state == StateRunning {
+			cancel = r.cancel
+		}
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	<-s.execDone
+	if s.cfg.Store != nil {
+		return s.cfg.Store.Sync()
+	}
+	return nil
+}
