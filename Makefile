@@ -83,6 +83,7 @@ cover:
 # errors, never panics.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzDinImport -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime $(FUZZTIME) ./internal/scenario
 	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime $(FUZZTIME) ./internal/experiment
 	$(GO) test -run '^$$' -fuzz FuzzCacheRecord -fuzztime $(FUZZTIME) ./internal/resultcache

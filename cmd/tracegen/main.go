@@ -7,6 +7,15 @@
 //	tracegen -benchmark FMM -cores 4 -scale 0.1 -o fmm.trc
 //	tracegen -benchmark WATER-NS -compress -o water.trc
 //
+// Import an external Dinero-style text trace ("<label> <hex-addr>" lines,
+// 0 = read, 1 = write, 2 = instruction fetch) into the binary format:
+//
+//	tracegen -import din:prog.din -cores 1 -o prog.trc
+//
+// With -cores above 1 the data references are dealt round-robin across the
+// cores; -cores 1 preserves the uniprocessor trace as recorded.  The result
+// replays like any recorded trace ("leaksweep -benchmarks trace:prog.trc").
+//
 // Inspect:
 //
 //	tracegen -dump fmm.trc -limit 20     # text dump of a trace file
@@ -24,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"cmpleak/internal/trace"
 	"cmpleak/internal/workload"
@@ -38,6 +49,7 @@ func main() {
 		limit     = flag.Int("limit", 0, "max entries per core (0 = all)")
 		out       = flag.String("o", "", "write the binary trace to this file")
 		compress  = flag.Bool("compress", false, "DEFLATE-compress trace chunks")
+		imp       = flag.String("import", "", "convert an external trace: 'din:<path>' (Dinero text format)")
 		dump      = flag.String("dump", "", "read this trace file instead of generating")
 		text      = flag.Bool("text", false, "print a text dump instead of writing a binary trace")
 		stats     = flag.Bool("stats", false, "print per-core summary statistics instead of the trace")
@@ -46,6 +58,11 @@ func main() {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+
+	if *imp != "" {
+		importTrace(*imp, *out, *cores, *compress)
+		return
+	}
 
 	if *dump != "" {
 		dumpFile(w, *dump, *limit, *stats)
@@ -110,6 +127,55 @@ func record(gen workload.Generator, path string, cores int, scale float64, seed 
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %s: %s, %d cores, %d entries, %d bytes (%.2f B/entry)\n",
 		path, gen.Name(), cores, total, st.Size(), float64(st.Size())/float64(max(total, 1)))
+}
+
+// importTrace converts an external text trace into the binary format.
+func importTrace(spec, out string, cores int, compress bool) {
+	format, path, ok := strings.Cut(spec, ":")
+	if !ok || path == "" {
+		fatalf("-import wants <format>:<path>, e.g. din:prog.din")
+	}
+	if format != "din" {
+		fatalf("unknown import format %q (supported: din)", format)
+	}
+	if out == "" {
+		fatalf("-import needs -o <file> for the binary trace")
+	}
+	if cores < 1 {
+		fatalf("-import needs at least one core")
+	}
+	src, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer src.Close()
+	hdr := trace.Header{
+		Cores:     cores,
+		LineBytes: 64,
+		Benchmark: filepath.Base(path),
+	}
+	tw, closeTrace, err := trace.Create(out, hdr, trace.WriterOptions{Compress: compress})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	counts, err := trace.ImportDin(src, tw)
+	if cerr := closeTrace(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(out)
+		fatalf("importing %s: %v", path, err)
+	}
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: imported %s -> %s: %d cores, %d entries, %d bytes\n",
+		path, out, cores, total, st.Size())
 }
 
 // dumpFile prints a recorded trace as text or summary statistics.

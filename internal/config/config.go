@@ -191,7 +191,14 @@ func (s System) Validate() error {
 		if s.Benchmark == "" {
 			return fmt.Errorf("config: either Benchmark or Synthetic must be set")
 		}
-		if _, err := workload.ByName(s.Benchmark, s.WorkloadScale); err != nil {
+		gen, err := workload.ByName(s.Benchmark, s.WorkloadScale)
+		if err != nil {
+			return err
+		}
+		// Generators tied to specific core counts (recorded traces, per-core
+		// mixes) must match here, before any system is built on streams that
+		// cannot exist.
+		if err := workload.CheckCores(gen, s.Cores); err != nil {
 			return err
 		}
 	} else if err := s.Synthetic.Validate(); err != nil {

@@ -28,9 +28,16 @@ func scenarioFor(benchmark string) File {
 }
 
 func writeTempTrace(t *testing.T, corrupt bool) string {
+	return writeTempTraceCores(t, corrupt, 4) // scenarios default to 4 cores
+}
+
+// writeTempTraceCores records a tiny trace declaring the given core count
+// (entries land on core 0 only; the other recorded slots replay empty,
+// which is a legal recording).
+func writeTempTraceCores(t *testing.T, corrupt bool, cores int) string {
 	t.Helper()
 	var buf bytes.Buffer
-	w, err := trace.NewWriter(&buf, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "unit"}, trace.WriterOptions{})
+	w, err := trace.NewWriter(&buf, trace.Header{Cores: cores, LineBytes: 64, Benchmark: "unit"}, trace.WriterOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +104,71 @@ func TestExpandRejectsCorruptTraceFile(t *testing.T) {
 		if !bytes.Contains([]byte(err.Error()), []byte("corrupt")) {
 			t.Fatalf("error %q hides the corruption diagnosis", err)
 		}
+	}
+}
+
+// TestExpandRejectsTraceCoreMismatch is the core/seed-bugfix regression
+// test: a trace recorded at one core count must fail at Expand — naming the
+// trace path and both counts — whether the scenario asks for more cores
+// (which used to run on silently empty streams) or fewer (which used to
+// silently drop recorded work).
+func TestExpandRejectsTraceCoreMismatch(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		recorded int
+		request  int
+	}{
+		{"trace cores below requested", 2, 4},
+		{"trace cores above requested", 8, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTempTraceCores(t, false, tc.recorded)
+			f := scenarioFor("trace:" + path)
+			f.CoreCounts = []int{tc.request}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("Validate must not read trace files: %v", err)
+			}
+			_, err := f.Expand(config.Default())
+			if !errors.Is(err, ErrBenchmarkCores) {
+				t.Fatalf("Expand returned %v, want wrapped ErrBenchmarkCores", err)
+			}
+			for _, want := range []string{path, fmt.Sprint(tc.recorded), fmt.Sprint(tc.request)} {
+				if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+					t.Fatalf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSeedAxisCollapses pins the seed-bugfix: trace replay ignores the
+// seed, so a seeds: [1,2,3] axis over only trace benchmarks would expand
+// into three cells with distinct digests and byte-identical results —
+// tripling sweep time and polluting the result cache.  Expansion collapses
+// the axis to its first seed; mixing in a seed-dependent benchmark keeps
+// the full axis.
+func TestTraceSeedAxisCollapses(t *testing.T) {
+	path := writeTempTrace(t, false)
+	f := scenarioFor("trace:" + path)
+	f.Seeds = []uint64{1, 2, 3}
+	cells, err := f.Expand(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("seed-invariant scenario expanded to %d cells, want 1: %v", len(cells), names(cells))
+	}
+	if cells[0].Options.Seed != 1 {
+		t.Fatalf("collapsed cell keeps seed %d, want the first seed 1", cells[0].Options.Seed)
+	}
+
+	f.Benchmarks = append(f.Benchmarks, "WATER-NS")
+	cells, err = f.Expand(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("seed-dependent scenario expanded to %d cells, want 3", len(cells))
 	}
 }
 

@@ -21,13 +21,16 @@ func FuzzScenario(f *testing.F) {
 	f.Add([]byte(`{"version":1,"benchmarks":["trace:x.trc"],"l2_sizes_mb":[2,4],"techniques":["decay:8K"],` +
 		`"core_counts":[2,8],"seeds":[3],"scale":0.5,"overrides":[{"l2_mb":2,"decay_cycles":"4K"}]}`))
 	f.Add([]byte(`{"version":9}`))
+	f.Add([]byte(`{"version":2,"benchmarks":["stat:refs=4K,loc=0.9"],"l2_sizes_mb":[1],"techniques":["protocol"],` +
+		`"mixes":[{"name":"duo","cores":["FMM","mpeg2enc"]}],"core_counts":[2,4],"seeds":[1,2]}`))
+	f.Add([]byte(`{"version":2,"benchmarks":["mix:m=FMM|trace:x.trc"],"l2_sizes_mb":[1],"techniques":["protocol"]}`))
 	f.Add([]byte(`{"version":1,"benchmarks":["FMM","FMM"],"l2_sizes_mb":[3],"techniques":["turbo"]}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{}`))
 
 	sentinels := []error{
 		ErrSyntax, ErrVersion, ErrEmptyAxis, ErrDuplicate, ErrBenchmark,
-		ErrSize, ErrTechnique, ErrCores, ErrScale, ErrOverride,
+		ErrSize, ErrTechnique, ErrCores, ErrScale, ErrOverride, ErrMix,
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		parsed, err := Parse(data)
@@ -43,8 +46,10 @@ func FuzzScenario(f *testing.F) {
 		if err != nil {
 			// Expand additionally resolves scheme benchmarks against the local
 			// filesystem; a fuzzed "trace:<whatever>" path is legitimately
-			// unavailable here.  Anything else is a Parse/Expand disagreement.
-			if errors.Is(err, ErrBenchmarkFile) {
+			// unavailable here, and a trace that does resolve may still refuse
+			// the scenario's core counts.  Anything else is a Parse/Expand
+			// disagreement.
+			if errors.Is(err, ErrBenchmarkFile) || errors.Is(err, ErrBenchmarkCores) {
 				return
 			}
 			t.Fatalf("Parse accepted a scenario Expand rejects: %v", err)

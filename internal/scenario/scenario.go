@@ -13,12 +13,17 @@
 // and sharded runs compose: `leaksweep -scenario f.json -shard i/n -out ...`
 // invocations merge byte-identically to the unsharded run.
 //
-// # Schema (version 1)
+// # Schema (version 2; version-1 files parse unchanged)
 //
 //	{
-//	  "version": 1,              required; readers reject other versions
+//	  "version": 2,              required; readers accept 1 and 2
 //	  "name": "paper",           optional label used in cell names
-//	  "benchmarks": [...],       registered names or "trace:<path>"
+//	  "benchmarks": [...],       registered names, "trace:<path>" or
+//	                             "stat:<spec>" (workload stat grammar)
+//	  "mixes": [                 version 2: heterogeneous per-core mixes
+//	    {"name": "water+mpeg",
+//	     "cores": ["WATER-NS","WATER-NS","mpeg2enc","mpeg2enc"]}
+//	  ],
 //	  "l2_sizes_mb": [1,2,4,8],  total L2 capacities; powers of two
 //	  "techniques": [...],       decay.ParseSpec syntax ("decay:512K");
 //	                             the always-on baseline runs implicitly
@@ -29,6 +34,16 @@
 //	    {"l2_mb": 1, "cores": 0, "decay_cycles": "64K", "scale": 0.5}
 //	  ]
 //	}
+//
+// A mix assigns one benchmark per core as a tile pattern (core i runs
+// cores[i % len(cores)]), so its length must divide every value of the
+// core_counts axis; elements may be registered names, "trace:<path>" or
+// "stat:<spec>", but not mixes themselves.  Each mix expands into the
+// self-describing benchmark string "mix:<name>=<e1>|<e2>|..." alongside the
+// plain benchmarks of every cell, which is exactly what lands in
+// experiment.Options.Benchmarks — so result-cache keys, journal resume and
+// sweep digests distinguish mixes with no extra plumbing.  benchmarks may
+// be empty when mixes is not.
 //
 // An override applies to every cell matching its selectors (l2_mb and cores;
 // zero/omitted means "any") and rewrites the decay interval of every
@@ -64,8 +79,14 @@ import (
 	"cmpleak/internal/workload"
 )
 
-// Version is the schema version this package reads and writes.
-const Version = 1
+// Version is the newest schema version this package reads and writes; any
+// version in [minVersion, Version] is accepted, and fields introduced after
+// a file's declared version are rejected so old files stay byte-identical
+// in meaning.
+const Version = 2
+
+// minVersion is the oldest schema version still readable.
+const minVersion = 1
 
 // Validation errors: every rejection wraps one of these sentinels, so
 // callers can classify failures with errors.Is while the message names the
@@ -91,12 +112,20 @@ var (
 	ErrScale = errors.New("scenario: invalid scale")
 	// ErrOverride reports an override with bad selectors or parameters.
 	ErrOverride = errors.New("scenario: invalid override")
+	// ErrMix reports an invalid mixes entry: bad name, malformed element
+	// list, or a pattern length that does not divide a core count.
+	ErrMix = errors.New("scenario: invalid mix")
 	// ErrBenchmarkFile reports a scheme benchmark ("trace:<path>") whose
 	// backing file is missing, unreadable or fails verification.  Validate
 	// deliberately does not check this — a matrix must validate on machines
 	// that do not hold the files — so it surfaces from Expand, before any
 	// simulation runs, rather than mid-sweep.
 	ErrBenchmarkFile = errors.New("scenario: benchmark file unavailable")
+	// ErrBenchmarkCores reports a resolved benchmark that cannot run at one
+	// of the scenario's core counts (a recorded trace replayed at the wrong
+	// count).  Like ErrBenchmarkFile it depends on the local files, so it
+	// surfaces from Expand, not Validate.
+	ErrBenchmarkCores = errors.New("scenario: benchmark incompatible with core count")
 )
 
 // File is one parsed scenario.
@@ -104,12 +133,28 @@ type File struct {
 	Version    int        `json:"version"`
 	Name       string     `json:"name,omitempty"`
 	Benchmarks []string   `json:"benchmarks"`
+	Mixes      []Mix      `json:"mixes,omitempty"`
 	L2SizesMB  []int      `json:"l2_sizes_mb"`
 	Techniques []string   `json:"techniques"`
 	CoreCounts []int      `json:"core_counts,omitempty"`
 	Seeds      []uint64   `json:"seeds,omitempty"`
 	Scale      float64    `json:"scale,omitempty"`
 	Overrides  []Override `json:"overrides,omitempty"`
+}
+
+// Mix is one heterogeneous per-core benchmark assignment (version 2): the
+// element list is a tile pattern over the cores of each cell.
+type Mix struct {
+	// Name labels the mix in cell job keys ("mix:<name>=...").
+	Name string `json:"name"`
+	// Cores assigns a benchmark per pattern slot; core i of a cell runs
+	// Cores[i % len(Cores)].
+	Cores []string `json:"cores"`
+}
+
+// spec renders the mix as its self-describing benchmark string.
+func (m Mix) spec() string {
+	return "mix:" + m.Name + "=" + strings.Join(m.Cores, "|")
 }
 
 // Override rewrites parameters for the cells its selectors match.
@@ -172,10 +217,13 @@ func Load(path string) (File, error) {
 // Validate checks every axis and override; the first violation is returned
 // wrapped in its sentinel with the offending field named.
 func (f File) Validate() error {
-	if f.Version != Version {
-		return fmt.Errorf("%w: file version %d, this reader supports %d", ErrVersion, f.Version, Version)
+	if f.Version < minVersion || f.Version > Version {
+		return fmt.Errorf("%w: file version %d, this reader supports %d to %d", ErrVersion, f.Version, minVersion, Version)
 	}
-	if len(f.Benchmarks) == 0 {
+	if f.Version < 2 && len(f.Mixes) > 0 {
+		return fmt.Errorf("%w: mixes requires version 2, file declares %d", ErrVersion, f.Version)
+	}
+	if len(f.Benchmarks) == 0 && len(f.Mixes) == 0 {
 		return fmt.Errorf("%w: benchmarks", ErrEmptyAxis)
 	}
 	if len(f.L2SizesMB) == 0 {
@@ -191,16 +239,28 @@ func (f File) Validate() error {
 			return fmt.Errorf("%w: benchmarks lists %q twice", ErrDuplicate, b)
 		}
 		seenBench[b] = true
-		if strings.Contains(b, ":") {
-			// Scheme benchmarks ("trace:<path>") resolve at run time — the
-			// file need not exist on the machine that validates the matrix.
-			if _, rest, _ := strings.Cut(b, ":"); rest == "" {
-				return fmt.Errorf("%w: benchmarks entry %q has an empty scheme payload", ErrBenchmark, b)
-			}
-			continue
+		if err := f.validateBenchmarkName(b, "benchmarks entry"); err != nil {
+			return err
 		}
-		if _, err := workload.ByName(b, 1.0); err != nil {
-			return fmt.Errorf("%w: benchmarks entry %q", ErrBenchmark, b)
+	}
+
+	seenMix := map[string]bool{}
+	for i, m := range f.Mixes {
+		if seenMix[m.Name] {
+			return fmt.Errorf("%w: mixes lists name %q twice", ErrDuplicate, m.Name)
+		}
+		seenMix[m.Name] = true
+		spec := m.spec()
+		if seenBench[spec] {
+			return fmt.Errorf("%w: benchmarks already lists %q", ErrDuplicate, spec)
+		}
+		seenBench[spec] = true
+		// The spec string round-trips through workload.ParseMixSpec, which
+		// enforces the grammar (non-empty name free of delimiters, non-empty
+		// non-nested elements); element resolvability and tiling are checked
+		// below like any mix-scheme benchmark.
+		if err := f.validateMixSpec(strings.TrimPrefix(spec, "mix:"), fmt.Sprintf("mixes[%d]", i)); err != nil {
+			return err
 		}
 	}
 
@@ -286,6 +346,64 @@ func (f File) Validate() error {
 	return nil
 }
 
+// validateBenchmarkName statically validates one benchmarks-axis entry.
+// Plain names must be registered; "mix:"/"stat:" payloads are pure (no
+// files involved) so their grammar is checked here; other schemes
+// ("trace:<path>") resolve at Expand time — the file need not exist on the
+// machine that validates the matrix.
+func (f File) validateBenchmarkName(b, ctx string) error {
+	scheme, rest, ok := strings.Cut(b, ":")
+	if !ok {
+		if _, err := workload.ByName(b, 1.0); err != nil {
+			return fmt.Errorf("%w: %s %q", ErrBenchmark, ctx, b)
+		}
+		return nil
+	}
+	if rest == "" {
+		return fmt.Errorf("%w: %s %q has an empty scheme payload", ErrBenchmark, ctx, b)
+	}
+	switch scheme {
+	case "mix":
+		return f.validateMixSpec(rest, ctx)
+	case "stat":
+		if _, err := workload.ByName(b, 1.0); err != nil {
+			return fmt.Errorf("%w: %s %q: %v", ErrBenchmark, ctx, b, err)
+		}
+	}
+	return nil
+}
+
+// validateMixSpec statically validates a mix spec (grammar, element names,
+// tiling against every core count); every rejection wraps ErrMix.
+func (f File) validateMixSpec(rest, ctx string) error {
+	name, elems, err := workload.ParseMixSpec(rest)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrMix, ctx, err)
+	}
+	for _, e := range elems {
+		scheme, payload, ok := strings.Cut(e, ":")
+		switch {
+		case !ok:
+			if _, err := workload.ByName(e, 1.0); err != nil {
+				return fmt.Errorf("%w: %s: mix %q element %q is not a known benchmark", ErrMix, ctx, name, e)
+			}
+		case payload == "":
+			return fmt.Errorf("%w: %s: mix %q element %q has an empty scheme payload", ErrMix, ctx, name, e)
+		case scheme == "stat":
+			if _, err := workload.ByName(e, 1.0); err != nil {
+				return fmt.Errorf("%w: %s: mix %q element %q: %v", ErrMix, ctx, name, e, err)
+			}
+		}
+	}
+	for _, c := range f.coreCounts() {
+		if c%len(elems) != 0 {
+			return fmt.Errorf("%w: %s: mix %q has %d per-core elements, which do not tile core count %d",
+				ErrMix, ctx, name, len(elems), c)
+		}
+	}
+	return nil
+}
+
 // defaultCores is the paper's core count, used when core_counts is omitted.
 const defaultCores = 4
 
@@ -356,23 +474,46 @@ func (f File) Expand(base config.System) ([]Cell, error) {
 		specs[i], _ = decay.ParseSpec(t) // validated above
 	}
 
-	// Resolve scheme benchmarks now: Expand runs on the machine that will
-	// simulate, so "trace:<path>" files must exist and verify here — failing
-	// before the first cell starts beats failing N jobs into a sweep.  The
-	// resolution itself is not wasted: trace files resolve through a
-	// process-wide verified-file cache, so the sweep's own lookups hit it.
-	for _, b := range f.Benchmarks {
-		if !strings.Contains(b, ":") {
-			continue
-		}
-		if _, err := workload.ByName(b, 1.0); err != nil {
+	// Resolve every benchmark now — mixes expand to their self-describing
+	// "mix:<name>=..." strings alongside the plain entries.  Expand runs on
+	// the machine that will simulate, so "trace:<path>" files (bare or
+	// inside a mix) must exist and verify here — failing before the first
+	// cell starts beats failing N jobs into a sweep.  The resolution itself
+	// is not wasted: trace files resolve through a process-wide
+	// verified-file cache, so the sweep's own lookups hit it.
+	benchNames := append([]string(nil), f.Benchmarks...)
+	for _, m := range f.Mixes {
+		benchNames = append(benchNames, m.spec())
+	}
+	allSeedInvariant := true
+	for _, b := range benchNames {
+		gen, err := workload.ByName(b, 1.0)
+		if err != nil {
 			return nil, fmt.Errorf("%w: benchmarks entry %q: %v", ErrBenchmarkFile, b, err)
 		}
+		// Core-count compatibility is a property of the resolved generator
+		// (a trace knows its recorded cores only once its file is read), so
+		// it too surfaces here rather than N jobs into a sweep.
+		for _, cores := range f.coreCounts() {
+			if err := workload.CheckCores(gen, cores); err != nil {
+				return nil, fmt.Errorf("%w: benchmarks entry %q at %d cores: %v", ErrBenchmarkCores, b, cores, err)
+			}
+		}
+		if !workload.IsSeedInvariant(gen) {
+			allSeedInvariant = false
+		}
+	}
+	seeds := f.seeds()
+	if allSeedInvariant && len(seeds) > 1 {
+		// Every benchmark ignores the seed (recorded traces, mixes of them):
+		// the remaining seed-axis cells would be byte-identical replays under
+		// distinct cache keys, so the axis collapses to its first value.
+		seeds = seeds[:1]
 	}
 
 	var cells []Cell
 	for _, cores := range f.coreCounts() {
-		for _, seed := range f.seeds() {
+		for _, seed := range seeds {
 			// Group sizes by their effective parameters, preserving the
 			// declared size order; groups emit in order of first appearance.
 			type group struct {
@@ -410,7 +551,7 @@ func (f File) Expand(base config.System) ([]Cell, error) {
 					Name: f.cellName(cores, seed, g.sizes, len(groups) > 1),
 					Options: experiment.Options{
 						Base:         base.WithCores(cores),
-						Benchmarks:   append([]string(nil), f.Benchmarks...),
+						Benchmarks:   append([]string(nil), benchNames...),
 						CacheSizesMB: append([]int(nil), g.sizes...),
 						Techniques:   append([]decay.Spec(nil), eff...),
 						Scale:        g.params.scale,

@@ -43,8 +43,57 @@ func TestValidationErrors(t *testing.T) {
 		wantErr error
 		inMsg   string // substring naming the offending field
 	}{
-		{"wrong version", func(f *File) { f.Version = 2 }, ErrVersion, "version 2"},
+		{"wrong version", func(f *File) { f.Version = 3 }, ErrVersion, "version 3"},
 		{"zero version", func(f *File) { f.Version = 0 }, ErrVersion, "version 0"},
+		{"mixes in a v1 file", func(f *File) {
+			f.Mixes = []Mix{{Name: "m", Cores: []string{"FMM"}}}
+		}, ErrVersion, "mixes requires version 2"},
+		{"mix with empty name", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{{Name: "", Cores: []string{"FMM"}}}
+		}, ErrMix, "empty name"},
+		{"mix with reserved name char", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{{Name: "a|b", Cores: []string{"FMM"}}}
+		}, ErrMix, "a|b"},
+		{"mix with no elements", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{{Name: "m", Cores: nil}}
+		}, ErrMix, "m"},
+		{"mix with unknown element", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{{Name: "m", Cores: []string{"quake3"}}}
+		}, ErrMix, "quake3"},
+		{"mix nesting a mix", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{{Name: "m", Cores: []string{"mix:n=FMM"}}}
+		}, ErrMix, "nests"},
+		{"mix with bad stat element", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{{Name: "m", Cores: []string{"stat:bogus=1"}}}
+		}, ErrMix, "stat:bogus=1"},
+		{"mix not tiling the core counts", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{{Name: "m", Cores: []string{"FMM", "FMM", "WATER-NS"}}}
+		}, ErrMix, "3 per-core elements"},
+		{"duplicate mix name", func(f *File) {
+			f.Version = 2
+			f.Mixes = []Mix{
+				{Name: "m", Cores: []string{"FMM"}},
+				{Name: "m", Cores: []string{"WATER-NS"}},
+			}
+		}, ErrDuplicate, "m"},
+		{"mix duplicating a benchmarks entry", func(f *File) {
+			f.Version = 2
+			f.Benchmarks = append(f.Benchmarks, "mix:m=FMM")
+			f.Mixes = []Mix{{Name: "m", Cores: []string{"FMM"}}}
+		}, ErrDuplicate, "mix:m=FMM"},
+		{"bad stat benchmark", func(f *File) {
+			f.Benchmarks = []string{"stat:zorp=1"}
+		}, ErrBenchmark, "zorp"},
+		{"bad mix benchmark entry", func(f *File) {
+			f.Benchmarks = []string{"mix:m=FMM|"}
+		}, ErrMix, "empty element"},
 		{"empty benchmarks axis", func(f *File) { f.Benchmarks = nil }, ErrEmptyAxis, "benchmarks"},
 		{"empty sizes axis", func(f *File) { f.L2SizesMB = nil }, ErrEmptyAxis, "l2_sizes_mb"},
 		{"empty techniques axis", func(f *File) { f.Techniques = nil }, ErrEmptyAxis, "techniques"},

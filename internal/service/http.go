@@ -54,7 +54,9 @@ var scenarioKinds = []struct {
 	{scenario.ErrCores, "cores"},
 	{scenario.ErrScale, "scale"},
 	{scenario.ErrOverride, "override"},
+	{scenario.ErrMix, "mix"},
 	{scenario.ErrBenchmarkFile, "benchmark_file"},
+	{scenario.ErrBenchmarkCores, "benchmark_cores"},
 }
 
 func scenarioKind(err error) string {

@@ -1,0 +1,171 @@
+package trace
+
+// Dinero-style "din" text-trace import: the lowest common denominator of
+// published address traces is one reference per line, "<label> <address>",
+// with label 0 = data read, 1 = data write, 2 = instruction fetch and a hex
+// address.  ImportDin converts such a trace into the binary chunk-framed
+// format, so real program traces flow through the same verified, 0-alloc
+// replay path as recorded synthetic benchmarks — and through every layer
+// above it (scenarios, sweeps, the result cache) as "trace:<file>".
+//
+// Instruction fetches do not become entries of their own: the simulator's
+// stream model is "a run of compute instructions followed by one memory
+// operation", so consecutive fetches accumulate into the ComputeInstrs of
+// the next data reference (saturating at the format's MaxInt32 bound — a
+// hostile fetch run must clamp, never wrap).  A trailing fetch run with no
+// data reference after it becomes one final compute-only entry.
+//
+// din traces are uniprocessor; when the destination header declares more
+// than one core the data references are dealt round-robin, a crude but
+// deterministic interleaving that keeps every core busy.  Use one core to
+// preserve the trace as recorded.
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math"
+	"strconv"
+
+	"cmpleak/internal/mem"
+	"cmpleak/internal/workload"
+)
+
+// dinMaxLine bounds one input line; a "line" longer than this is not a din
+// trace, it is garbage or a binary file.
+const dinMaxLine = 1 << 16
+
+// dinBatch is the per-core staging batch size of the importer.
+const dinBatch = 256
+
+// ImportDin reads a din text trace from r and appends its references to w,
+// dealing data references round-robin across the writer's cores.  It
+// returns the per-core entry counts.  Malformed text wraps ErrCorrupt with
+// the offending line number; read failures wrap ErrIO.  The caller still
+// owns the writer (call Close/Flush afterwards).
+func ImportDin(r io.Reader, w *Writer) ([]uint64, error) {
+	cores := w.Header().Cores
+	counts := make([]uint64, cores)
+	pend := make([][]workload.Entry, cores)
+	for i := range pend {
+		pend[i] = make([]workload.Entry, 0, dinBatch)
+	}
+	flush := func(core int) error {
+		if len(pend[core]) == 0 {
+			return nil
+		}
+		if err := w.AppendBatch(core, pend[core]); err != nil {
+			return err
+		}
+		counts[core] += uint64(len(pend[core]))
+		pend[core] = pend[core][:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), dinMaxLine)
+	line := 0
+	compute := 0 // pending instruction-fetch run
+	next := 0    // round-robin core for the next data reference
+	refs := 0
+	for sc.Scan() {
+		line++
+		label, addr, ok := splitDinLine(sc.Text())
+		if !ok {
+			continue // blank line or comment
+		}
+		switch label {
+		case "0", "1":
+			a, err := strconv.ParseUint(trimHexPrefix(addr), 16, 64)
+			if err != nil {
+				return counts, corruptf("din line %d: bad address %q", line, addr)
+			}
+			e := workload.Entry{ComputeInstrs: compute, Op: workload.Load, Addr: mem.Addr(a)}
+			if label == "1" {
+				e.Op = workload.Store
+			}
+			compute = 0
+			refs++
+			pend[next] = append(pend[next], e)
+			if len(pend[next]) == dinBatch {
+				if err := flush(next); err != nil {
+					return counts, err
+				}
+			}
+			next = (next + 1) % cores
+		case "2":
+			compute = addFetch(compute)
+			if _, err := strconv.ParseUint(trimHexPrefix(addr), 16, 64); err != nil {
+				return counts, corruptf("din line %d: bad address %q", line, addr)
+			}
+		default:
+			return counts, corruptf("din line %d: unknown label %q (want 0, 1 or 2)", line, label)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return counts, corruptf("din line %d: line exceeds %d bytes", line+1, dinMaxLine)
+		}
+		return counts, &ioError{err: err}
+	}
+	if refs == 0 {
+		return counts, corruptf("din trace holds no data references")
+	}
+	if compute > 0 {
+		// Trailing fetches: one compute-only entry so no work is dropped.
+		pend[next] = append(pend[next], workload.Entry{ComputeInstrs: compute})
+	}
+	for core := range pend {
+		if err := flush(core); err != nil {
+			return counts, err
+		}
+	}
+	return counts, nil
+}
+
+// addFetch advances a pending instruction-fetch run, saturating at the
+// format's ComputeInstrs bound: a hostile fetch run must clamp, never wrap
+// into a negative count (which Entry.Instructions would otherwise mangle)
+// or overflow what the writer accepts.
+func addFetch(compute int) int {
+	if compute < math.MaxInt32 {
+		return compute + 1
+	}
+	return compute
+}
+
+// splitDinLine splits one line into label and address fields; ok is false
+// for blank lines and '#' comments (not part of the din format proper, but
+// harmless to skip and common in hand-built fixtures).
+func splitDinLine(s string) (label, addr string, ok bool) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	if i == len(s) || s[i] == '#' {
+		return "", "", false
+	}
+	j := i
+	for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+		j++
+	}
+	label = s[i:j]
+	for j < len(s) && (s[j] == ' ' || s[j] == '\t') {
+		j++
+	}
+	k := j
+	for k < len(s) && s[k] != ' ' && s[k] != '\t' {
+		k++
+	}
+	// Trailing fields (some din dialects append a size or thread id) are
+	// ignored rather than rejected.
+	return label, s[j:k], true
+}
+
+// trimHexPrefix strips an optional 0x/0X address prefix.
+func trimHexPrefix(s string) string {
+	if len(s) > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		return s[2:]
+	}
+	return s
+}

@@ -1,0 +1,22 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAddFetchSaturates guards the importer boundary directly: a fetch run
+// at the format bound must clamp at MaxInt32 rather than wrap negative (a
+// full-scale run would need 2^31 input lines, so the helper is pinned in
+// isolation).
+func TestAddFetchSaturates(t *testing.T) {
+	if got := addFetch(0); got != 1 {
+		t.Fatalf("addFetch(0) = %d, want 1", got)
+	}
+	if got := addFetch(math.MaxInt32 - 1); got != math.MaxInt32 {
+		t.Fatalf("addFetch(MaxInt32-1) = %d, want MaxInt32", got)
+	}
+	if got := addFetch(math.MaxInt32); got != math.MaxInt32 {
+		t.Fatalf("addFetch(MaxInt32) = %d, want saturation at MaxInt32", got)
+	}
+}

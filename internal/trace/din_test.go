@@ -1,0 +1,182 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"cmpleak/internal/trace"
+	"cmpleak/internal/workload"
+)
+
+// importDin runs one din text through the importer into an in-memory trace
+// and returns the per-core counts plus the finished bytes.
+func importDin(t *testing.T, text string, cores int) ([]uint64, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Cores: cores, LineBytes: 64, Benchmark: "din"}, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := trace.ImportDin(strings.NewReader(text), w)
+	if err != nil {
+		t.Fatalf("ImportDin: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return counts, buf.Bytes()
+}
+
+func drainCore(t *testing.T, tf *trace.File, core int) []workload.Entry {
+	t.Helper()
+	r := tf.Stream(core)
+	buf := make([]workload.Entry, 16)
+	var out []workload.Entry
+	for {
+		n := r.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		out = append(out, buf[:n]...)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("core %d replay: %v", core, err)
+	}
+	return out
+}
+
+// TestImportDinBasic pins the fetch-accumulation model on one core: fetch
+// runs become the ComputeInstrs of the next data reference, trailing
+// fetches become one compute-only entry, and comments, blank lines, 0x
+// prefixes and trailing fields are tolerated.
+func TestImportDinBasic(t *testing.T) {
+	const text = `# hand-built fixture
+2 400
+2 404
+0 0x1000 4
+
+1 2000
+2 408
+2 40c
+2 410
+`
+	counts, data := importDin(t, text, 1)
+	if counts[0] != 3 {
+		t.Fatalf("core 0 holds %d entries, want 3", counts[0])
+	}
+	tf, err := trace.New(data)
+	if err != nil {
+		t.Fatalf("imported trace does not open: %v", err)
+	}
+	if err := tf.Verify(); err != nil {
+		t.Fatalf("imported trace does not verify: %v", err)
+	}
+	want := []workload.Entry{
+		{ComputeInstrs: 2, Op: workload.Load, Addr: 0x1000},
+		{ComputeInstrs: 0, Op: workload.Store, Addr: 0x2000},
+		{ComputeInstrs: 3, Op: workload.None},
+	}
+	got := drainCore(t, tf, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestImportDinRoundRobin pins the multi-core dealing: data references
+// alternate across cores in order, and the pending fetch run attaches to
+// whichever reference comes next regardless of its core.
+func TestImportDinRoundRobin(t *testing.T) {
+	const text = `0 10
+2 100
+0 20
+0 30
+1 40
+`
+	counts, data := importDin(t, text, 2)
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("per-core counts %v, want [2 2]", counts)
+	}
+	tf, err := trace.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := drainCore(t, tf, 0), drainCore(t, tf, 1)
+	want0 := []workload.Entry{
+		{Op: workload.Load, Addr: 0x10},
+		{Op: workload.Load, Addr: 0x30},
+	}
+	want1 := []workload.Entry{
+		{ComputeInstrs: 1, Op: workload.Load, Addr: 0x20},
+		{Op: workload.Store, Addr: 0x40},
+	}
+	for i, e := range want0 {
+		if c0[i] != e {
+			t.Fatalf("core 0 entry %d: got %+v, want %+v", i, c0[i], e)
+		}
+	}
+	for i, e := range want1 {
+		if c1[i] != e {
+			t.Fatalf("core 1 entry %d: got %+v, want %+v", i, c1[i], e)
+		}
+	}
+}
+
+// TestImportDinErrors pins the error taxonomy: malformed text is ErrCorrupt
+// with the offending line named, never a panic or a silent skip.
+func TestImportDinErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, text, inMsg string
+	}{
+		{"unknown label", "0 10\n7 20\n", "line 2"},
+		{"bad data address", "0 zz\n", "bad address"},
+		{"bad fetch address", "2 q0\n0 10\n", "bad address"},
+		{"empty input", "", "no data references"},
+		{"fetches only", "2 10\n2 14\n", "no data references"},
+		{"comments only", "# nothing\n\n", "no data references"},
+		{"over-long line", "0 " + strings.Repeat("f", 1<<17) + "\n", "exceeds"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w, err := trace.NewWriter(&buf, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "bad"}, trace.WriterOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = trace.ImportDin(strings.NewReader(tc.text), w)
+			if !errors.Is(err, trace.ErrCorrupt) {
+				t.Fatalf("ImportDin returned %v, want wrapped ErrCorrupt", err)
+			}
+			if !strings.Contains(err.Error(), tc.inMsg) {
+				t.Fatalf("error %q does not say %q", err, tc.inMsg)
+			}
+		})
+	}
+}
+
+// TestImportDinReadFailure pins that transport failures classify as ErrIO,
+// distinct from malformed-text ErrCorrupt.
+func TestImportDinReadFailure(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "io"}, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("socket reset")
+	_, err = trace.ImportDin(&failingReader{err: boom}, w)
+	if !errors.Is(err, trace.ErrIO) {
+		t.Fatalf("ImportDin returned %v, want wrapped ErrIO", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("ErrIO wrap %v loses the underlying cause", err)
+	}
+}
+
+type failingReader struct{ err error }
+
+func (r *failingReader) Read([]byte) (int, error) { return 0, r.err }

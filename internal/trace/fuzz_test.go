@@ -7,6 +7,7 @@ package trace_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"cmpleak/internal/trace"
@@ -37,6 +38,42 @@ func fuzzSeed(compress bool) []byte {
 		panic(err)
 	}
 	return buf.Bytes()
+}
+
+// FuzzDinImport drives the din text importer with arbitrary bytes: any
+// input must either import into a trace that opens and verifies cleanly or
+// be rejected with a classified error (ErrCorrupt for malformed text, ErrIO
+// for transport failures) — never panic.
+func FuzzDinImport(f *testing.F) {
+	f.Add([]byte("2 400\n2 404\n0 1000\n1 0x2000 4\n2 408\n"))
+	f.Add([]byte("# comment\n\n0 10\n"))
+	f.Add([]byte("7 10\n"))
+	f.Add([]byte("0 zz\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, trace.Header{Cores: 2, LineBytes: 64, Benchmark: "fuzz"}, trace.WriterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trace.ImportDin(bytes.NewReader(data), w); err != nil {
+			if !errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, trace.ErrIO) {
+				t.Fatalf("ImportDin error %v is neither ErrCorrupt nor ErrIO", err)
+			}
+			return
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close after clean import: %v", err)
+		}
+		tf, err := trace.New(buf.Bytes())
+		if err != nil {
+			t.Fatalf("imported trace does not open: %v", err)
+		}
+		if err := tf.Verify(); err != nil {
+			t.Fatalf("imported trace does not verify: %v", err)
+		}
+	})
 }
 
 func FuzzReader(f *testing.F) {

@@ -363,8 +363,11 @@ func (r *Reader) Next() (workload.Entry, bool) {
 // Generator wraps the file as a workload.Generator so trace-backed
 // benchmarks slot into every place a synthetic one does (config validation,
 // sweeps, the CLI).  Streams ignores the seed — a trace replays exactly
-// what was recorded — and returns exhausted streams for cores beyond the
-// recorded count.
+// what was recorded — which the generator declares via
+// workload.SeedInvariant so sweeps can collapse their seed axis; and it
+// only exists at the recorded core count, which it declares via
+// workload.CheckCores so validation fails with a diagnostic instead of
+// handing cores missing or silently empty streams.
 func (f *File) Generator() workload.Generator { return &generator{f: f} }
 
 // generator adapts a File to workload.Generator.
@@ -378,7 +381,29 @@ func (g *generator) Name() string {
 	return "trace"
 }
 
-// Streams implements workload.Generator.
+// CheckCores implements workload.CoreChecker: a trace replays exactly the
+// per-core streams it recorded, so the requested count must equal the
+// recorded one — more cores would run on silently empty streams, fewer
+// would silently drop recorded work.  The error names the file and both
+// counts, so a scenario surfacing it says which trace cannot run where.
+func (g *generator) CheckCores(cores int) error {
+	if cores != g.f.hdr.Cores {
+		name := g.f.path
+		if name == "" {
+			name = "in-memory trace"
+		}
+		return fmt.Errorf("trace: %s records %d cores, cannot replay on %d",
+			name, g.f.hdr.Cores, cores)
+	}
+	return nil
+}
+
+// SeedInvariant implements workload.SeedInvariant: replay ignores the seed.
+func (g *generator) SeedInvariant() bool { return true }
+
+// Streams implements workload.Generator.  Call workload.CheckCores first
+// (config validation and scenario expansion do): cores beyond the recorded
+// count would receive streams with no chunks to replay.
 func (g *generator) Streams(cores int, _ uint64) []workload.Stream {
 	out := make([]workload.Stream, cores)
 	for i := range out {

@@ -3,9 +3,11 @@ package trace_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"cmpleak/internal/mem"
@@ -331,23 +333,43 @@ func TestCaptureLimit(t *testing.T) {
 	}
 }
 
-// TestGeneratorExtraCores pins that replaying on more cores than recorded
-// yields exhausted (not nil, not panicking) streams for the extras.
-func TestGeneratorExtraCores(t *testing.T) {
+// TestGeneratorCheckCores pins the core-count validation in both
+// directions: a trace generator accepts exactly the recorded core count and
+// rejects more (which would run cores on silently empty streams) and fewer
+// (which would silently drop recorded work), naming both counts in the
+// diagnostic.  It also pins the seed-invariance declaration replay relies
+// on for scenario seed-axis collapsing.
+func TestGeneratorCheckCores(t *testing.T) {
 	entries := benchEntries(t, "mpeg2enc", 1, 0, 0.01, 2)
-	data := writeTrace(t, trace.Header{Cores: 1, LineBytes: 64, Benchmark: "mpeg2enc"},
-		trace.WriterOptions{}, [][]workload.Entry{entries})
+	data := writeTrace(t, trace.Header{Cores: 2, LineBytes: 64, Benchmark: "mpeg2enc"},
+		trace.WriterOptions{}, [][]workload.Entry{entries, entries})
 	f, err := trace.New(data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	streams := f.Generator().Streams(3, 9)
-	if n := len(drainBatched(workload.AsBatchStream(streams[0]), 64)); n != len(entries) {
-		t.Fatalf("recorded core replays %d entries, want %d", n, len(entries))
+	gen := f.Generator()
+	if err := workload.CheckCores(gen, 2); err != nil {
+		t.Fatalf("recorded core count rejected: %v", err)
 	}
-	for c := 1; c < 3; c++ {
-		if _, ok := streams[c].Next(); ok {
-			t.Fatalf("core %d beyond the recording yielded an entry", c)
+	for _, cores := range []int{1, 3, 8} {
+		err := workload.CheckCores(gen, cores)
+		if err == nil {
+			t.Fatalf("CheckCores(%d) accepted a 2-core trace", cores)
+		}
+		for _, want := range []string{"2", fmt.Sprint(cores)} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("CheckCores(%d) error %q does not name %q", cores, err, want)
+			}
+		}
+	}
+	if !workload.IsSeedInvariant(gen) {
+		t.Fatal("trace generator does not declare seed invariance")
+	}
+	// At the recorded count, replay still works stream for stream.
+	streams := gen.Streams(2, 9)
+	for c := range streams {
+		if n := len(drainBatched(workload.AsBatchStream(streams[c]), 64)); n != len(entries) {
+			t.Fatalf("core %d replays %d entries, want %d", c, n, len(entries))
 		}
 	}
 }

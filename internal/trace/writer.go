@@ -295,6 +295,9 @@ func Capture(gen workload.Generator, cores int, seed uint64, w *Writer, opts Cap
 	if cores <= 0 {
 		return nil, fmt.Errorf("trace: Capture needs at least one core")
 	}
+	if err := workload.CheckCores(gen, cores); err != nil {
+		return nil, err
+	}
 	streams := gen.Streams(cores, seed)
 	batched := make([]workload.BatchStream, len(streams))
 	for i, s := range streams {

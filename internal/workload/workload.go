@@ -69,9 +69,15 @@ type Entry struct {
 }
 
 // Instructions returns the instruction count of the entry (compute plus the
-// memory operation itself).
+// memory operation itself).  A negative ComputeInstrs — impossible from the
+// built-in generators but representable by external producers (trace
+// importers, custom streams) — counts as zero instead of wrapping to a huge
+// uint64 and corrupting every instruction-derived statistic downstream.
 func (e Entry) Instructions() uint64 {
-	n := uint64(e.ComputeInstrs)
+	var n uint64
+	if e.ComputeInstrs > 0 {
+		n = uint64(e.ComputeInstrs)
+	}
 	if e.Op != None {
 		n++
 	}
@@ -131,6 +137,45 @@ type Generator interface {
 	// Streams returns one stream per core; all streams of one call share
 	// the benchmark's shared data regions.
 	Streams(cores int, seed uint64) []Stream
+}
+
+// CoreChecker is an optional Generator interface for generators whose
+// streams exist only for particular core counts: recorded traces replay
+// exactly the cores they captured, and per-core mixes tile a fixed pattern.
+// Callers that know the core count before building streams (config
+// validation, scenario expansion, trace capture) consult it via CheckCores
+// so an impossible pairing fails with a diagnostic instead of handing cores
+// empty or misassigned streams.
+type CoreChecker interface {
+	// CheckCores reports whether the generator can produce streams for the
+	// given core count; the error names the constraint that failed.
+	CheckCores(cores int) error
+}
+
+// CheckCores validates cores against gen when it implements CoreChecker;
+// generators without the interface accept any count.
+func CheckCores(gen Generator, cores int) error {
+	if c, ok := gen.(CoreChecker); ok {
+		return c.CheckCores(cores)
+	}
+	return nil
+}
+
+// SeedInvariant is an optional Generator interface marking generators whose
+// streams do not depend on the seed argument (a recorded trace replays
+// exactly what was captured, whatever seed it is asked for).  The scenario
+// layer collapses the seed axis for benchmarks that declare invariance, so
+// a seeds: [1,2,3] sweep does not simulate — and cache under three distinct
+// keys — byte-identical replays.
+type SeedInvariant interface {
+	// SeedInvariant reports that Streams ignores its seed argument.
+	SeedInvariant() bool
+}
+
+// IsSeedInvariant reports whether gen declares itself seed-invariant.
+func IsSeedInvariant(gen Generator) bool {
+	si, ok := gen.(SeedInvariant)
+	return ok && si.SeedInvariant()
 }
 
 // Class tags a benchmark as scientific (Splash-2) or multimedia (ALPBench),

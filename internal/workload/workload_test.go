@@ -23,6 +23,14 @@ func TestEntryInstructions(t *testing.T) {
 	if (Entry{ComputeInstrs: 5, Op: Load}).Instructions() != 6 {
 		t.Fatal("memory entry instruction count wrong")
 	}
+	// A hostile source (e.g. an imported trace) can hold a negative compute
+	// count; it must clamp to zero, not wrap into ~2^64 instructions.
+	if got := (Entry{ComputeInstrs: -3, Op: Store}).Instructions(); got != 1 {
+		t.Fatalf("negative compute run counted as %d instructions, want 1", got)
+	}
+	if got := (Entry{ComputeInstrs: -1}).Instructions(); got != 0 {
+		t.Fatalf("negative compute-only entry counted as %d instructions, want 0", got)
+	}
 }
 
 func TestClassString(t *testing.T) {
